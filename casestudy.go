@@ -1,0 +1,230 @@
+package rememberr
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dut"
+)
+
+// CaseStudyOptions configures the directed-testing case study: a
+// simulated design under test hides a population of bugs drawn from the
+// database, and two campaigns with identical budgets compete — uniform
+// constrained-random verification vs a RemembERR-directed strategy fed
+// by PlanCampaign directives.
+type CaseStudyOptions struct {
+	// Seed drives bug selection and both strategies.
+	Seed int64
+	// Bugs is the hidden bug population size (default 40).
+	Bugs int
+	// Tests is the per-strategy test budget (default 600).
+	Tests int
+	// MinTriggersPerBug filters the hidden population to bugs needing
+	// at least this many combined triggers (default 2 — the
+	// design-testing gap the paper identifies).
+	MinTriggersPerBug int
+	// Directives caps the campaign plan length (default 25).
+	Directives int
+	// ObservationBudget and MaxTriggersPerTest configure the DUT
+	// (defaults 4 and 4).
+	ObservationBudget  int
+	MaxTriggersPerTest int
+}
+
+// DefaultCaseStudyOptions returns the standard configuration.
+func DefaultCaseStudyOptions() CaseStudyOptions {
+	return CaseStudyOptions{
+		Seed: 1, Bugs: 40, Tests: 600, Directives: 25,
+		MinTriggersPerBug: 2,
+		ObservationBudget: 4, MaxTriggersPerTest: 4,
+	}
+}
+
+// CaseStudyResult compares the two campaigns.
+type CaseStudyResult struct {
+	// HiddenBugs is the population size.
+	HiddenBugs int
+	// Directed and Random are the per-strategy outcomes.
+	Directed CampaignOutcome
+	Random   CampaignOutcome
+	// Speedup is the ratio of detected bugs (directed / random);
+	// +Inf-avoidance: 0 detections on both sides gives 1.
+	Speedup float64
+}
+
+// CampaignOutcome is one strategy's result.
+type CampaignOutcome struct {
+	Strategy       string
+	Tests          int
+	Detected       int
+	Triggered      int
+	MedianToDetect int
+	DetectionCurve []int
+	SampleEvery    int
+}
+
+// SimulateDirectedCampaign runs the Section VI case study on this
+// database: bugs are sampled from the annotated unique errata, the
+// directed strategy consumes PlanCampaign directives, and both
+// strategies get the same test and observation budgets.
+func (db *Database) SimulateDirectedCampaign(opts CaseStudyOptions) (*CaseStudyResult, error) {
+	if opts.Bugs == 0 {
+		opts.Bugs = 40
+	}
+	if opts.Tests == 0 {
+		opts.Tests = 600
+	}
+	if opts.MinTriggersPerBug == 0 {
+		opts.MinTriggersPerBug = 2
+	}
+	if opts.Directives == 0 {
+		opts.Directives = 25
+	}
+	cfg := dut.Config{
+		ObservationBudget:  opts.ObservationBudget,
+		MaxTriggersPerTest: opts.MaxTriggersPerTest,
+	}
+	if cfg.ObservationBudget == 0 {
+		cfg.ObservationBudget = 4
+	}
+	if cfg.MaxTriggersPerTest == 0 {
+		cfg.MaxTriggersPerTest = 4
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	bugs := dut.BugsFromErrata(db.Unique(), db.Scheme(), opts.Bugs, opts.MinTriggersPerBug, rng)
+	if len(bugs) == 0 {
+		return nil, fmt.Errorf("rememberr: no annotated errata to seed the DUT")
+	}
+	design, err := dut.New(bugs, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// The directed strategy uses the campaign plan derived from the
+	// whole corpus — historical knowledge, not the hidden bug list.
+	plan := db.PlanCampaign(CampaignOptions{MaxDirectives: opts.Directives, MinSupport: 2})
+	directives := make([]dut.DirectiveInput, 0, len(plan))
+	for _, d := range plan {
+		monitors := append(append([]string(nil), d.Observations...), d.MSRs...)
+		directives = append(directives, dut.DirectiveInput{
+			Triggers: d.Triggers,
+			Contexts: d.Contexts,
+			Monitors: monitors,
+		})
+	}
+
+	sampleEvery := opts.Tests / 20
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	directed := dut.RunCampaign(design,
+		dut.NewDirectedStrategy(directives, db.Scheme(), cfg, opts.Seed), opts.Tests, sampleEvery)
+	msrPool := msrVocabulary(db)
+	random := dut.RunCampaign(design,
+		dut.NewRandomStrategy(db.Scheme(), msrPool, cfg, opts.Seed), opts.Tests, sampleEvery)
+
+	res := &CaseStudyResult{
+		HiddenBugs: design.NumBugs(),
+		Directed:   outcome(directed),
+		Random:     outcome(random),
+	}
+	switch {
+	case random.Detected > 0:
+		res.Speedup = float64(directed.Detected) / float64(random.Detected)
+	case directed.Detected > 0:
+		res.Speedup = float64(directed.Detected)
+	default:
+		res.Speedup = 1
+	}
+	return res, nil
+}
+
+func outcome(r *dut.CampaignResult) CampaignOutcome {
+	return CampaignOutcome{
+		Strategy:       r.Strategy,
+		Tests:          r.Tests,
+		Detected:       r.Detected,
+		Triggered:      r.Triggered,
+		MedianToDetect: r.MedianTestsToDetect(),
+		DetectionCurve: append([]int(nil), r.DetectionCurve...),
+		SampleEvery:    r.SampleEvery,
+	}
+}
+
+// msrVocabulary collects the MSR names appearing in the database, so
+// that the random baseline can at least monitor real registers.
+func msrVocabulary(db *Database) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range db.Unique() {
+		for _, m := range e.Ann.MSRs {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// SweepResult aggregates the case study across several seeds, giving
+// the directed-vs-random comparison statistical footing.
+type SweepResult struct {
+	// Seeds is the number of independent runs.
+	Seeds int
+	// MeanDirected and MeanRandom are the mean detected-bug counts.
+	MeanDirected float64
+	MeanRandom   float64
+	// MeanSpeedup is the mean of the per-seed detection ratios.
+	MeanSpeedup float64
+	// DirectedWins counts seeds where the directed strategy detected
+	// strictly more bugs.
+	DirectedWins int
+	// Runs holds the per-seed results.
+	Runs []*CaseStudyResult
+}
+
+// SweepDirectedCampaign repeats the case study across n seeds (derived
+// from opts.Seed) and aggregates the outcomes.
+func (db *Database) SweepDirectedCampaign(opts CaseStudyOptions, n int) (*SweepResult, error) {
+	if n <= 0 {
+		n = 5
+	}
+	sw := &SweepResult{Seeds: n}
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Seed = opts.Seed + int64(i)*7919
+		res, err := db.SimulateDirectedCampaign(o)
+		if err != nil {
+			return nil, err
+		}
+		sw.Runs = append(sw.Runs, res)
+		sw.MeanDirected += float64(res.Directed.Detected)
+		sw.MeanRandom += float64(res.Random.Detected)
+		sw.MeanSpeedup += res.Speedup
+		if res.Directed.Detected > res.Random.Detected {
+			sw.DirectedWins++
+		}
+	}
+	sw.MeanDirected /= float64(n)
+	sw.MeanRandom /= float64(n)
+	sw.MeanSpeedup /= float64(n)
+	return sw, nil
+}
+
+// RenderCaseStudy renders the comparison as readable text.
+func RenderCaseStudy(r *CaseStudyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hidden bugs: %d\n", r.HiddenBugs)
+	row := func(o CampaignOutcome) {
+		fmt.Fprintf(&b, "%-20s detected %3d  triggered %3d  median-tests-to-detect %d\n",
+			o.Strategy, o.Detected, o.Triggered, o.MedianToDetect)
+		fmt.Fprintf(&b, "%20s curve (every %d tests): %v\n", "", o.SampleEvery, o.DetectionCurve)
+	}
+	row(r.Directed)
+	row(r.Random)
+	fmt.Fprintf(&b, "directed/random detection ratio: %.2fx\n", r.Speedup)
+	return b.String()
+}

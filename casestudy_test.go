@@ -1,0 +1,101 @@
+package rememberr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimulateDirectedCampaign(t *testing.T) {
+	db := testDB(t)
+	res, err := db.SimulateDirectedCampaign(DefaultCaseStudyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HiddenBugs != 40 {
+		t.Errorf("hidden bugs = %d", res.HiddenBugs)
+	}
+	if res.Directed.Detected == 0 {
+		t.Fatal("directed campaign detected nothing")
+	}
+	// The headline shape of the Section VI case study: with equal
+	// budgets on the multi-trigger population, direction wins.
+	if res.Directed.Detected <= res.Random.Detected {
+		t.Errorf("directed %d vs random %d — direction should win on multi-trigger bugs",
+			res.Directed.Detected, res.Random.Detected)
+	}
+	if res.Speedup <= 1 {
+		t.Errorf("speedup = %.2f", res.Speedup)
+	}
+	// Detection curves are monotone.
+	for _, o := range []CampaignOutcome{res.Directed, res.Random} {
+		for i := 1; i < len(o.DetectionCurve); i++ {
+			if o.DetectionCurve[i] < o.DetectionCurve[i-1] {
+				t.Errorf("%s: detection curve not monotone: %v", o.Strategy, o.DetectionCurve)
+				break
+			}
+		}
+		if o.Detected > 0 && o.MedianToDetect < 0 {
+			t.Errorf("%s: median missing", o.Strategy)
+		}
+	}
+	out := RenderCaseStudy(res)
+	for _, want := range []string{"rememberr-directed", "random-crv", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimulateDirectedCampaignDeterminism(t *testing.T) {
+	db := testDB(t)
+	a, err := db.SimulateDirectedCampaign(DefaultCaseStudyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.SimulateDirectedCampaign(DefaultCaseStudyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Directed.Detected != b.Directed.Detected || a.Random.Detected != b.Random.Detected {
+		t.Error("case study not deterministic per seed")
+	}
+}
+
+func TestSweepDirectedCampaign(t *testing.T) {
+	db := testDB(t)
+	opts := DefaultCaseStudyOptions()
+	opts.Tests = 300 // keep the sweep fast
+	sw, err := db.SweepDirectedCampaign(opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Seeds != 5 || len(sw.Runs) != 5 {
+		t.Fatalf("sweep = %+v", sw)
+	}
+	// The directed advantage must be consistent, not a single-seed fluke.
+	if sw.DirectedWins < 4 {
+		t.Errorf("directed wins only %d/5 seeds", sw.DirectedWins)
+	}
+	if sw.MeanSpeedup <= 1.05 {
+		t.Errorf("mean speedup = %.2f", sw.MeanSpeedup)
+	}
+	if sw.MeanDirected <= sw.MeanRandom {
+		t.Errorf("means: directed %.1f vs random %.1f", sw.MeanDirected, sw.MeanRandom)
+	}
+}
+
+func TestSimulateDirectedCampaignTightObservation(t *testing.T) {
+	db := testDB(t)
+	opts := DefaultCaseStudyOptions()
+	opts.ObservationBudget = 1
+	tight, err := db.SimulateDirectedCampaign(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Knowing where to look matters most when observation is scarce:
+	// the directed advantage must not vanish.
+	if tight.Directed.Detected <= tight.Random.Detected {
+		t.Errorf("tight observation: directed %d vs random %d",
+			tight.Directed.Detected, tight.Random.Detected)
+	}
+}

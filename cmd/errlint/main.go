@@ -1,0 +1,121 @@
+// Command errlint parses specification-update documents from a
+// directory (as written by errgen) and reports every inconsistency the
+// parser finds — the "errata in errata" of the paper: duplicate fields,
+// reused names, revision notes that double-add or omit errata, summary
+// mismatches. Vendors could run exactly this kind of linter before
+// publishing a document.
+//
+// Usage:
+//
+//	errlint [-kinds] [-by-doc] <dir|file...>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/specdoc"
+)
+
+func main() {
+	kindsOnly := flag.Bool("kinds", false, "print only the per-kind summary")
+	byDoc := flag.Bool("by-doc", false, "group diagnostics by document")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: errlint [-kinds] [-by-doc] <dir|file...>")
+		os.Exit(2)
+	}
+
+	var files []string
+	for _, arg := range flag.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fatal(err)
+		}
+		if info.IsDir() {
+			entries, err := os.ReadDir(arg)
+			if err != nil {
+				fatal(err)
+			}
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
+					files = append(files, filepath.Join(arg, e.Name()))
+				}
+			}
+		} else {
+			files = append(files, arg)
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no .txt documents found"))
+	}
+
+	var all []specdoc.Diagnostic
+	parsed, entries := 0, 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		doc, diags, err := specdoc.Parse(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "errlint: %s: %v\n", f, err)
+			continue
+		}
+		parsed++
+		entries += len(doc.Errata)
+		all = append(all, diags...)
+	}
+
+	fmt.Printf("parsed %d documents, %d erratum entries, %d diagnostics\n\n",
+		parsed, entries, len(all))
+
+	kinds := map[string]int{}
+	for _, d := range all {
+		kinds[d.Kind]++
+	}
+	var kindList []string
+	for k := range kinds {
+		kindList = append(kindList, k)
+	}
+	sort.Strings(kindList)
+	fmt.Println("by kind:")
+	for _, k := range kindList {
+		fmt.Printf("  %-22s %d\n", k, kinds[k])
+	}
+	if *kindsOnly {
+		return
+	}
+	fmt.Println()
+	if *byDoc {
+		byDocMap := map[string][]specdoc.Diagnostic{}
+		for _, d := range all {
+			byDocMap[d.DocKey] = append(byDocMap[d.DocKey], d)
+		}
+		var docs []string
+		for k := range byDocMap {
+			docs = append(docs, k)
+		}
+		sort.Strings(docs)
+		for _, dk := range docs {
+			fmt.Printf("%s (%d):\n", dk, len(byDocMap[dk]))
+			for _, d := range byDocMap[dk] {
+				fmt.Printf("  [%s] %s: %s\n", d.Kind, d.ID, d.Message)
+			}
+		}
+		return
+	}
+	for _, d := range all {
+		fmt.Println(" ", d)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "errlint:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+package rememberr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Extensions runs the experiments that go beyond the paper's published
+// evaluation: the conservative severity grading, the rediscovery table,
+// and the directed-testing case study. They are kept separate from
+// All() so that the paper-reproduction suite stays exactly the paper's
+// tables and figures.
+func (x *Experiments) Extensions() []*Experiment {
+	return []*Experiment{
+		x.ExtSeverity(), x.ExtRediscovery(), x.ExtCaseStudy(),
+	}
+}
+
+// ExtByID runs one extension experiment by identifier, falling back to
+// the paper experiments.
+func (x *Experiments) ExtByID(id string) (*Experiment, error) {
+	for _, e := range x.Extensions() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return x.ByID(id)
+}
+
+// ExtSeverity grades every unique erratum conservatively and breaks the
+// corpus down by severity (the paper's criticality discussion,
+// Section V-A4, made quantitative).
+func (x *Experiments) ExtSeverity() *Experiment {
+	ex := &Experiment{
+		ID:         "ext-severity",
+		Title:      "Conservative severity breakdown (extension)",
+		PaperClaim: "Only a few bugs can be considered non-critical; even wrong performance counters break counter-based security defenses.",
+	}
+	var b strings.Builder
+	var bars []report.Bar
+	for _, br := range x.db.Severities() {
+		fmt.Fprintf(&b, "%s (%d unique errata):\n", br.Vendor, br.Total)
+		for _, sev := range []Severity{SeverityFatal, SeverityCorrupting, SeverityDegrading} {
+			n := br.Counts[sev]
+			fmt.Fprintf(&b, "  %-12s %4d (%.1f%%)\n", sev, n, 100*float64(n)/float64(br.Total))
+			bars = append(bars, report.Bar{
+				Label: fmt.Sprintf("%s / %s", br.Vendor, sev),
+				Value: float64(n),
+			})
+		}
+		fmt.Fprintf(&b, "  fatal bugs reachable from a VM guest: %d\n", br.GuestReachableFatal)
+		// The quantitative form of the paper's claim.
+		nonCritical := br.Counts[SeverityDegrading]
+		ex.Checks = append(ex.Checks,
+			check(fmt.Sprintf("%s: few non-critical bugs", br.Vendor),
+				nonCritical*10 < br.Total*2,
+				"%d/%d degrading-only", nonCritical, br.Total))
+	}
+	ex.Text = b.String()
+	ex.SVG = report.SVGBarChart("Severity breakdown", bars, 0)
+	return ex
+}
+
+// ExtRediscovery quantifies the rediscovery question per Intel document.
+func (x *Experiments) ExtRediscovery() *Experiment {
+	ex := &Experiment{
+		ID:         "ext-rediscovery",
+		Title:      "Rediscovery of inherited bugs (extension)",
+		PaperClaim: "Most design flaws shared between generations were known before releasing the subsequent generation (O4, per document).",
+	}
+	stats := x.db.Rediscoveries(Intel)
+	ex.Text = RenderRediscoveries(stats)
+	headers := []string{"Document", "Bugs", "Inherited", "KnownAtRelease"}
+	var rows [][]string
+	knownTotal, inheritedTotal := 0, 0
+	for _, r := range stats {
+		rows = append(rows, []string{
+			r.DocKey, fmt.Sprintf("%d", r.Keys),
+			fmt.Sprintf("%d", r.Inherited), fmt.Sprintf("%d", r.KnownAtRelease),
+		})
+		knownTotal += r.KnownAtRelease
+		inheritedTotal += r.Inherited
+	}
+	ex.CSV = report.CSV(headers, rows)
+	ex.Checks = append(ex.Checks,
+		check("substantial heredity", inheritedTotal > 500,
+			"%d inherited occurrences", inheritedTotal),
+		check("many inherited bugs known at release", knownTotal*2 > inheritedTotal,
+			"%d/%d known before the inheriting design shipped", knownTotal, inheritedTotal))
+	return ex
+}
+
+// ExtCaseStudy runs the directed-testing simulation.
+func (x *Experiments) ExtCaseStudy() *Experiment {
+	ex := &Experiment{
+		ID:         "ext-casestudy",
+		Title:      "Directed vs random testing campaign (extension)",
+		PaperClaim: "RemembERR-derived trigger interactions and observation points make dynamic testing campaigns more effective (Section VI).",
+	}
+	res, err := x.db.SimulateDirectedCampaign(DefaultCaseStudyOptions())
+	if err != nil {
+		ex.Checks = append(ex.Checks, check("simulation ran", false, "%v", err))
+		return ex
+	}
+	ex.Text = RenderCaseStudy(res)
+	ex.Checks = append(ex.Checks,
+		check("directed beats random on multi-trigger bugs",
+			res.Directed.Detected > res.Random.Detected,
+			"directed %d vs random %d of %d hidden bugs",
+			res.Directed.Detected, res.Random.Detected, res.HiddenBugs),
+		check("directed detects faster",
+			res.Directed.MedianToDetect >= 0 &&
+				(res.Random.MedianToDetect < 0 || res.Directed.MedianToDetect < res.Random.MedianToDetect),
+			"median tests to detect: directed %d vs random %d",
+			res.Directed.MedianToDetect, res.Random.MedianToDetect))
+	return ex
+}

@@ -1,0 +1,92 @@
+package rememberr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/heredity"
+	"repro/internal/store"
+)
+
+// Severity re-exports the conservative severity grading of effects.
+type Severity = analysis.Severity
+
+// Severity levels, from least to most critical.
+const (
+	SeverityUnknown    = analysis.SeverityUnknown
+	SeverityDegrading  = analysis.SeverityDegrading
+	SeverityCorrupting = analysis.SeverityCorrupting
+	SeverityFatal      = analysis.SeverityFatal
+)
+
+// SeverityBreakdown re-exports the per-vendor severity histogram.
+type SeverityBreakdown = analysis.SeverityBreakdown
+
+// Severities grades every unique erratum conservatively by its worst
+// effect (hangs are fatal; corrupted state and fault-delivery errors
+// silently wrong; external side effects degrading) and reports the
+// per-vendor breakdown, including the fatal bugs reachable from a VM
+// guest.
+func (db *Database) Severities() []SeverityBreakdown {
+	return analysis.Severities(db.core)
+}
+
+// Grade returns the conservative severity of one erratum.
+func (db *Database) Grade(e *Erratum) Severity {
+	return analysis.Grade(e, db.Scheme())
+}
+
+// MostCritical returns the n most critical unique errata of a vendor.
+func (db *Database) MostCritical(v Vendor, n int) []*Erratum {
+	return analysis.MostCritical(db.core, v, n)
+}
+
+// Rediscovery re-exports the per-document rediscovery statistics.
+type Rediscovery = heredity.Rediscovery
+
+// Rediscoveries answers the paper's rediscovery question per document:
+// how many of a design's bugs were shared with earlier designs, and how
+// many of those were already disclosed before this design shipped.
+func (db *Database) Rediscoveries(v Vendor) []Rediscovery {
+	return heredity.RediscoveryStats(db.core, v)
+}
+
+// RenderRediscoveries renders the rediscovery table.
+func RenderRediscoveries(stats []Rediscovery) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %10s %16s %8s\n", "document", "bugs", "inherited", "known@release", "fraction")
+	for _, r := range stats {
+		fmt.Fprintf(&b, "%-12s %6d %10d %16d %7.0f%%\n",
+			r.DocKey, r.Keys, r.Inherited, r.KnownAtRelease, 100*r.KnownFraction())
+	}
+	return b.String()
+}
+
+// Save persists the database as JSON.
+func (db *Database) Save(path string) error {
+	return store.Save(db.core, path)
+}
+
+// Load reads a database previously saved with Save. Loaded databases
+// have no build report; experiments that need one (Figures 8 and 9,
+// the decision-reduction study) report that in their checks.
+func Load(path string) (*Database, error) {
+	c, err := store.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{core: c}, nil
+}
+
+// ExportCSVs returns the CSV payloads of every experiment that produces
+// one, keyed by experiment ID.
+func (x *Experiments) ExportCSVs() map[string]string {
+	out := make(map[string]string)
+	for _, ex := range x.All() {
+		if ex.CSV != "" {
+			out[ex.ID] = ex.CSV
+		}
+	}
+	return out
+}

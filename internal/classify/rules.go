@@ -1,0 +1,296 @@
+// Package classify implements RemembERR's software-assisted
+// classification (Section V-A of the paper): a regular-expression rule
+// engine that conservatively filters the 60 abstract categories per
+// erratum into auto-included, auto-excluded and undecided decisions, a
+// syntax-highlighting engine that marks the text regions relevant to a
+// category, and extractors for MSR names, workaround categories, fix
+// statuses and the trivial/complex-condition flags.
+//
+// The paper reduced 67,680 classification decisions per human to 2,064
+// with such conservative filtering; the remaining undecided pairs go to
+// the simulated annotators of the annotate package.
+package classify
+
+import (
+	"regexp"
+
+	"repro/internal/taxonomy"
+)
+
+// rule holds the compiled patterns of one abstract category.
+//
+// Strong patterns are distinctive: a match is sufficient to auto-include
+// the category. Weak patterns are suggestive: a match surfaces the
+// category for human review (undecided) but never auto-includes.
+type rule struct {
+	category string
+	kind     taxonomy.Kind
+	strong   []*regexp.Regexp
+	weak     []*regexp.Regexp
+}
+
+type ruleSpec struct {
+	category string
+	strong   []string
+	weak     []string
+}
+
+func re(parts []string) []*regexp.Regexp {
+	out := make([]*regexp.Regexp, len(parts))
+	for i, p := range parts {
+		out[i] = regexp.MustCompile(`(?i)` + p)
+	}
+	return out
+}
+
+// triggerRules transcribes the trigger categories of Table IV into
+// regex rules over trigger clauses.
+var triggerRules = []ruleSpec{
+	{"Trg_MBR_cbr",
+		[]string{`cache line boundary`},
+		[]string{`\bstraddles\b`, `\bunaligned\b`}},
+	{"Trg_MBR_pgb",
+		[]string{`page boundary`},
+		[]string{`\bstraddles\b`, `two pages`}},
+	{"Trg_MBR_mbr",
+		[]string{`\bcanonical\b`, `memory map boundary`},
+		[]string{`\bwraps\b`, `memory map`}},
+	{"Trg_MOP_mmp",
+		[]string{`memory-mapped`},
+		[]string{`\bmapped\b`, `\baccess\b`}},
+	{"Trg_MOP_atp",
+		[]string{`\batomic\b`, `\btransactional\b`},
+		[]string{`\blocked\b`, `read-modify-write`}},
+	{"Trg_MOP_fen",
+		[]string{`memory fence`, `serializing instruction`, `\bmfence\b`},
+		[]string{`\bfence\b`}},
+	{"Trg_MOP_seg",
+		[]string{`\bsegment\b`},
+		nil},
+	{"Trg_MOP_ptw",
+		[]string{`table walk`},
+		[]string{`\bwalk\b`}},
+	{"Trg_MOP_nst",
+		[]string{`\bnested\b`},
+		nil},
+	{"Trg_MOP_flc",
+		[]string{`flush instruction`, `flushed by an invalidation`},
+		[]string{`\bflush`}},
+	{"Trg_MOP_spe",
+		[]string{`\bspeculat`},
+		nil},
+	{"Trg_FLT_ovf",
+		[]string{`\boverflow`},
+		nil},
+	{"Trg_FLT_tmr",
+		[]string{`\btimer\b`},
+		nil},
+	{"Trg_FLT_mca",
+		[]string{`machine check exception is being delivered`, `machine check event is logged`},
+		[]string{`\bmca\b`, `machine check`}},
+	{"Trg_FLT_ill",
+		[]string{`illegal instruction`, `undefined opcode`, `invalid instruction`},
+		nil},
+	{"Trg_PRV_ret",
+		[]string{`\brsm\b`, `return from smm`},
+		[]string{`resumes from`, `\bmanagement\b`}},
+	{"Trg_PRV_vmt",
+		[]string{`vm entry`, `vm exit`, `from hypervisor to guest`, `world switch`},
+		[]string{`\bguest\b`, `\bhypervisor\b`}},
+	{"Trg_CFG_pag",
+		[]string{`paging mode`, `paging structure entry`, `paging mechanism`},
+		[]string{`\bcr0\b`, `\bcr4\b`, `\bpaging\b`}},
+	{"Trg_CFG_vmc",
+		[]string{`\bvmcs\b`, `virtual machine control structure`, `virtualization control`},
+		[]string{`\bvirtual machine\b`}},
+	{"Trg_CFG_wrg",
+		[]string{`\bwrmsr\b`, `model specific register with`, `msr write`},
+		[]string{`configuration register`, `\bconfiguration\b`}},
+	{"Trg_POW_pwc",
+		[]string{`c6 power state`, `package power states`, `c-state`},
+		[]string{`power state`, `\bpower\b`}},
+	{"Trg_POW_tht",
+		[]string{`\bthrottl`, `power supply conditions`, `thermal event`},
+		[]string{`\bthermal\b`, `operating conditions`, `\bpower\b`}},
+	{"Trg_EXT_rst",
+		[]string{`\breset\b`},
+		nil},
+	{"Trg_EXT_pci",
+		[]string{`\bpcie\b`, `pci express`},
+		[]string{`peer-to-peer`, `\blink\b`}},
+	{"Trg_EXT_usb",
+		[]string{`\busb\b`, `\bxhci\b`},
+		nil},
+	{"Trg_EXT_ram",
+		[]string{`dram configuration`, `ddr interface operates`},
+		[]string{`\bdram\b`, `\bddr\b`, `memory is configured`}},
+	{"Trg_EXT_iom",
+		[]string{`\biommu\b`, `dma remapping`},
+		[]string{`\bdevice\b`}},
+	{"Trg_EXT_bus",
+		[]string{`\bhypertransport\b`, `\bqpi\b`, `system bus`},
+		[]string{`\bsnoop\b`}},
+	{"Trg_FEA_fpu",
+		[]string{`\bx87\b`, `\bfsave\b`, `floating-point`},
+		nil},
+	{"Trg_FEA_dbg",
+		[]string{`\bbreakpoint\b`, `single-stepping`, `\bdebug\b`},
+		[]string{`trap flag`}},
+	{"Trg_FEA_cid",
+		[]string{`\bcpuid\b`, `design identification`},
+		nil},
+	{"Trg_FEA_mon",
+		[]string{`\bmonitor/mwait\b`, `monitored address`, `\bmwait\b`},
+		nil},
+	{"Trg_FEA_tra",
+		[]string{`\btrace\b`, `\btracing\b`},
+		nil},
+	{"Trg_FEA_cus",
+		[]string{`\bsse\b`, `\bmmx\b`},
+		[]string{`extension feature`, `custom feature`, `specific feature`, `feature sequence`}},
+}
+
+// contextRules transcribes Table V over context clauses.
+var contextRules = []ruleSpec{
+	{"Ctx_PRV_boo",
+		[]string{`\bbooting\b`, `\bbios\b`, `\buefi\b`, `\bfirmware\b`},
+		nil},
+	{"Ctx_PRV_vmg",
+		[]string{`\bguest\b`},
+		nil},
+	{"Ctx_PRV_rea",
+		[]string{`real-address mode`, `real mode`, `real-mode`, `virtual-8086`},
+		nil},
+	{"Ctx_PRV_vmh",
+		[]string{`\bhypervisor\b`, `vmx root`, `host mode`},
+		[]string{`virtual machine`}},
+	{"Ctx_PRV_smm",
+		[]string{`system management mode`, `\bsmm\b`, `management mode`},
+		[]string{`\bmode\b`}},
+	{"Ctx_FEA_sec",
+		[]string{`\bsgx\b`, `\bsvm\b`, `\bsecurity\b`, `secure enclave`},
+		nil},
+	{"Ctx_FEA_sgc",
+		[]string{`single-core`, `one core`, `single active core`},
+		nil},
+	{"Ctx_PHY_pkg",
+		[]string{`\bpackage\b`, `ball-out`},
+		nil},
+	{"Ctx_PHY_tmp",
+		[]string{`\btemperature\b`},
+		nil},
+	{"Ctx_PHY_vol",
+		[]string{`\bvoltage\b`},
+		nil},
+}
+
+// effectRules transcribes Table VI over effect clauses.
+var effectRules = []ruleSpec{
+	{"Eff_HNG_unp",
+		[]string{`\bunpredictable\b`, `behave unexpectedly`, `results of the operation may be incorrect`},
+		[]string{`\bincorrect\b`, `\bunexpected`, `system may`}},
+	{"Eff_HNG_hng",
+		[]string{`\bhang\b`, `stop responding`},
+		nil},
+	{"Eff_HNG_crh",
+		[]string{`\bcrash\b`, `\bunrecoverable\b`, `go down`},
+		[]string{`may fail`}},
+	{"Eff_HNG_boo",
+		[]string{`\bboot\b`, `\bpost\b`},
+		nil},
+	{"Eff_FLT_mca",
+		[]string{`machine check exception may be signaled`, `mca error may be reported`, `machine check architecture`},
+		[]string{`machine check`}},
+	{"Eff_FLT_unc",
+		[]string{`\buncorrectable\b`, `\buncorrected\b`},
+		nil},
+	{"Eff_FLT_fsp",
+		[]string{`\bspurious\b`, `unexpected exception`},
+		[]string{`\bfaults?\b`}},
+	{"Eff_FLT_fms",
+		[]string{`fault may be missing`, `may not be delivered`, `may be suppressed`},
+		[]string{`\bmissing\b`}},
+	{"Eff_FLT_fid",
+		[]string{`wrong error code`, `fault identifier`, `wrong order`},
+		[]string{`\bordering\b`}},
+	{"Eff_CRP_prf",
+		[]string{`performance counter`, `performance monitoring`},
+		[]string{`counter value`}},
+	{"Eff_CRP_reg",
+		[]string{`msr may contain`, `model specific register may be corrupted`},
+		[]string{`register state`, `wrong value`, `\bregister\b`}},
+	{"Eff_EXT_pci",
+		[]string{`malformed transactions`, `pcie link`, `protocol violations`},
+		[]string{`\bpcie\b`}},
+	{"Eff_EXT_usb",
+		[]string{`\busb\b`},
+		nil},
+	{"Eff_EXT_mmd",
+		[]string{`\baudio\b`, `\bgraphics\b`, `display artifacts`, `\bmultimedia\b`},
+		nil},
+	{"Eff_EXT_ram",
+		[]string{`dram interactions`, `memory training`, `ddr interface may`},
+		[]string{`\bdram\b`, `\bddr\b`}},
+	{"Eff_EXT_pow",
+		[]string{`power consumption`, `excessive power`},
+		[]string{`\bpower\b`}},
+}
+
+// Engine is a compiled rule engine over a taxonomy scheme.
+type Engine struct {
+	scheme *taxonomy.Scheme
+	rules  map[taxonomy.Kind][]rule
+}
+
+// NewEngine compiles the base rule set against the base scheme.
+func NewEngine() *Engine {
+	e := &Engine{
+		scheme: taxonomy.Base(),
+		rules:  make(map[taxonomy.Kind][]rule),
+	}
+	compile := func(kind taxonomy.Kind, specs []ruleSpec) {
+		for _, s := range specs {
+			if _, ok := e.scheme.Category(s.category); !ok {
+				panic("classify: rule for unknown category " + s.category)
+			}
+			e.rules[kind] = append(e.rules[kind], rule{
+				category: s.category,
+				kind:     kind,
+				strong:   re(s.strong),
+				weak:     re(s.weak),
+			})
+		}
+	}
+	compile(taxonomy.Trigger, triggerRules)
+	compile(taxonomy.Context, contextRules)
+	compile(taxonomy.Effect, effectRules)
+	return e
+}
+
+// Scheme returns the scheme the engine classifies against.
+func (e *Engine) Scheme() *taxonomy.Scheme { return e.scheme }
+
+// matchSegment evaluates every rule of a kind against one text segment
+// and reports the strongly and weakly matched categories.
+func (e *Engine) matchSegment(kind taxonomy.Kind, text string) (strong, weak []string) {
+	for _, r := range e.rules[kind] {
+		matched := false
+		for _, p := range r.strong {
+			if p.MatchString(text) {
+				strong = append(strong, r.category)
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		for _, p := range r.weak {
+			if p.MatchString(text) {
+				weak = append(weak, r.category)
+				break
+			}
+		}
+	}
+	return strong, weak
+}

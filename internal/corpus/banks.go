@@ -1,0 +1,50 @@
+package corpus
+
+import "repro/internal/taxonomy"
+
+// PhraseBanks exposes the concrete-level phrase banks per kind and
+// abstract category. The classify package's rule tests verify coverage
+// (every phrase is matched by its category's rules) and exclusivity (no
+// strong rule of a sibling category matches) against these banks.
+func PhraseBanks() map[taxonomy.Kind]map[string][]string {
+	copyBank := func(src map[string][]string) map[string][]string {
+		out := make(map[string][]string, len(src))
+		for k, v := range src {
+			out[k] = append([]string(nil), v...)
+		}
+		return out
+	}
+	return map[taxonomy.Kind]map[string][]string{
+		taxonomy.Trigger: copyBank(triggerPhrases),
+		taxonomy.Context: copyBank(contextPhrases),
+		taxonomy.Effect:  copyBank(effectPhrases),
+	}
+}
+
+// WorkaroundTextBank exposes the workaround formulations per category.
+func WorkaroundTextBank() map[string][]string {
+	out := make(map[string][]string, len(workaroundTexts))
+	for k, v := range workaroundTexts {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// StatusTextBank exposes the status formulations per fix status.
+func StatusTextBank() map[string][]string {
+	out := make(map[string][]string, len(statusTexts))
+	for k, v := range statusTexts {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// TrivialTriggerSentences exposes the trivial-trigger formulations.
+func TrivialTriggerSentences() []string {
+	return append([]string(nil), trivialTriggerSentences...)
+}
+
+// ComplexConditionSentences exposes the complex-condition formulations.
+func ComplexConditionSentences() []string {
+	return append([]string(nil), complexConditionSentences...)
+}

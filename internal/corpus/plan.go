@@ -1,0 +1,304 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lineage is one unique bug: the set of documents whose errata report it.
+// A lineage is the ground-truth counterpart of a dedup cluster key.
+type Lineage struct {
+	// Key is the ground-truth unique key, e.g. "GT-I-0012".
+	Key string
+	// Docs lists the affected document keys in vendor document order.
+	Docs []string
+	// Special tags the constrained lineages: "longest" (the Core 2 bug
+	// still identified many generations later), "core1to10" (the six
+	// bugs spanning Core 1 to Core 10), "gens6to10" (the bugs shared by
+	// all generations 6 to 10), or "" for ordinary lineages.
+	Special string
+}
+
+// Span reports the number of affected documents.
+func (l *Lineage) Span() int { return len(l.Docs) }
+
+// Contains reports whether the lineage affects the given document.
+func (l *Lineage) Contains(docKey string) bool {
+	for _, d := range l.Docs {
+		if d == docKey {
+			return true
+		}
+	}
+	return false
+}
+
+// planError reports an infeasible lineage plan; it indicates the
+// calibration constants are inconsistent, not a runtime condition.
+type planError struct{ msg string }
+
+func (e planError) Error() string { return "corpus: " + e.msg }
+
+// docKeysIntel returns the Intel document keys in generation order.
+func docKeysIntel() []string {
+	out := make([]string, len(IntelProfiles))
+	for i, p := range IntelProfiles {
+		out[i] = p.Key
+	}
+	return out
+}
+
+// docKeysAMD returns the AMD document keys in family order.
+func docKeysAMD() []string {
+	out := make([]string, len(AMDProfiles))
+	for i, p := range AMDProfiles {
+		out[i] = p.Key
+	}
+	return out
+}
+
+// planIntel builds the Intel lineage plan. reserve maps document keys to
+// the number of entry slots reserved for injected intra-document
+// duplicates; those slots are excluded from the lineage budget.
+func planIntel(reserve map[string]int) ([]Lineage, error) {
+	quota := make(map[string]int, len(IntelProfiles))
+	for _, p := range IntelProfiles {
+		quota[p.Key] = p.Count - reserve[p.Key]
+		if quota[p.Key] < 0 {
+			return nil, planError{fmt.Sprintf("reservation exceeds count for %s", p.Key)}
+		}
+	}
+
+	var lineages []Lineage
+	take := func(l Lineage) error {
+		for _, dk := range l.Docs {
+			if quota[dk] <= 0 {
+				return planError{fmt.Sprintf("quota exhausted for %s while placing %s lineage", dk, l.Special)}
+			}
+			quota[dk]--
+		}
+		lineages = append(lineages, l)
+		return nil
+	}
+
+	// Special lineage 1: the Core 2 erratum still identified many
+	// generations later (Section IV-B2) — present in every document from
+	// generation 2 on.
+	longest := Lineage{Special: "longest", Docs: []string{
+		"intel-02d", "intel-02m", "intel-03d", "intel-03m", "intel-04d",
+		"intel-04m", "intel-05d", "intel-05m", "intel-06", "intel-07",
+		"intel-08", "intel-10", "intel-11", "intel-12",
+	}}
+	if err := take(longest); err != nil {
+		return nil, err
+	}
+
+	// Special lineages 2..7: the six bugs that stayed from Core 1 to
+	// Core 10.
+	core1to10 := []string{
+		"intel-01d", "intel-01m", "intel-02d", "intel-02m", "intel-03d",
+		"intel-03m", "intel-04d", "intel-04m", "intel-05d", "intel-05m",
+		"intel-06", "intel-07", "intel-08", "intel-10",
+	}
+	for i := 0; i < LineagesCore1To10; i++ {
+		if err := take(Lineage{Special: "core1to10", Docs: append([]string(nil), core1to10...)}); err != nil {
+			return nil, err
+		}
+	}
+
+	// The remaining bugs shared by all generations 6 to 10. The longest
+	// and core1to10 lineages also cover generations 6-10, so together
+	// they amount to SharedGens6To10 lineages.
+	gens6to10 := []string{"intel-06", "intel-07", "intel-08", "intel-10"}
+	for i := 0; i < SharedGens6To10-LineagesCore1To10-1; i++ {
+		if err := take(Lineage{Special: "gens6to10", Docs: append([]string(nil), gens6to10...)}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Remaining budget.
+	appearances := 0
+	for _, q := range quota {
+		appearances += q
+	}
+	remainingLineages := TargetIntelUnique - len(lineages)
+	extras := appearances - remainingLineages
+	if extras < 0 {
+		return nil, planError{"negative extras: appearance quota too small for unique target"}
+	}
+
+	// Groups consume one appearance per member document and contribute
+	// size-1 "extras". Desktop/mobile pairs dominate (the paper: D and M
+	// processors share the vast majority of bugs); quads across adjacent
+	// generations reproduce the off-diagonal mass of Figure 3.
+	candidates := [][]string{
+		{"intel-01d", "intel-01m", "intel-02d", "intel-02m"},
+		{"intel-02d", "intel-02m", "intel-03d", "intel-03m"},
+		{"intel-03d", "intel-03m", "intel-04d", "intel-04m"},
+		{"intel-04d", "intel-04m", "intel-05d", "intel-05m"},
+		{"intel-05d", "intel-05m", "intel-06", "intel-07"},
+		// Note: no {06,07,08,10} quad — the number of lineages covering
+		// all of generations 6-10 is pinned to SharedGens6To10 above.
+		{"intel-08", "intel-10", "intel-11", "intel-12"},
+		{"intel-01d", "intel-01m"},
+		{"intel-02d", "intel-02m"},
+		{"intel-03d", "intel-03m"},
+		{"intel-04d", "intel-04m"},
+		{"intel-05d", "intel-05m"},
+		{"intel-06", "intel-07"},
+		{"intel-07", "intel-08"},
+		{"intel-08", "intel-10"},
+		{"intel-10", "intel-11"},
+		{"intel-11", "intel-12"},
+	}
+	groups, err := planGroups(quota, candidates, extras)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range groups {
+		lineages = append(lineages, Lineage{Docs: g})
+	}
+
+	// Singletons absorb the remaining quota.
+	for _, dk := range docKeysIntel() {
+		for i := 0; i < quota[dk]; i++ {
+			lineages = append(lineages, Lineage{Docs: []string{dk}})
+		}
+		quota[dk] = 0
+	}
+
+	if len(lineages) != TargetIntelUnique {
+		return nil, planError{fmt.Sprintf("planned %d Intel lineages, want %d", len(lineages), TargetIntelUnique)}
+	}
+	assignKeys(lineages, "GT-I")
+	return lineages, nil
+}
+
+// planAMD builds the AMD lineage plan. AMD families share fewer errata
+// than Intel generations; sharing happens between related families.
+func planAMD(reserve map[string]int) ([]Lineage, error) {
+	quota := make(map[string]int, len(AMDProfiles))
+	for _, p := range AMDProfiles {
+		quota[p.Key] = p.Count - reserve[p.Key]
+		if quota[p.Key] < 0 {
+			return nil, planError{fmt.Sprintf("reservation exceeds count for %s", p.Key)}
+		}
+	}
+	appearances := 0
+	for _, q := range quota {
+		appearances += q
+	}
+	extras := appearances - TargetAMDUnique
+	if extras < 0 {
+		return nil, planError{"negative AMD extras"}
+	}
+
+	candidates := [][]string{
+		{"amd-15h-00", "amd-15h-10", "amd-15h-30"},
+		{"amd-17h-00", "amd-17h-30", "amd-19h-00"},
+		{"amd-10h-00", "amd-11h-00"},
+		{"amd-12h-00", "amd-14h-00"},
+		{"amd-14h-00", "amd-16h-00"},
+		{"amd-15h-00", "amd-15h-10"},
+		{"amd-15h-10", "amd-15h-30"},
+		{"amd-15h-30", "amd-15h-70"},
+		{"amd-16h-00", "amd-17h-00"},
+		{"amd-17h-00", "amd-17h-30"},
+		{"amd-17h-30", "amd-19h-00"},
+	}
+	groups, err := planGroups(quota, candidates, extras)
+	if err != nil {
+		return nil, err
+	}
+	var lineages []Lineage
+	for _, g := range groups {
+		lineages = append(lineages, Lineage{Docs: g})
+	}
+	for _, dk := range docKeysAMD() {
+		for i := 0; i < quota[dk]; i++ {
+			lineages = append(lineages, Lineage{Docs: []string{dk}})
+		}
+		quota[dk] = 0
+	}
+	if len(lineages) != TargetAMDUnique {
+		return nil, planError{fmt.Sprintf("planned %d AMD lineages, want %d", len(lineages), TargetAMDUnique)}
+	}
+	assignKeys(lineages, "GT-A")
+	return lineages, nil
+}
+
+// planGroups greedily consumes `extras` by instantiating candidate
+// groups round-robin. A group of size k consumes one appearance per
+// member document and contributes k-1 extras. The function mutates
+// quota and returns the instantiated groups.
+func planGroups(quota map[string]int, candidates [][]string, extras int) ([][]string, error) {
+	var groups [][]string
+	idx := 0
+	stuckSince := 0
+	for extras > 0 {
+		cand := candidates[idx%len(candidates)]
+		idx++
+		feasible := len(cand)-1 <= extras
+		if feasible {
+			for _, dk := range cand {
+				if quota[dk] <= 0 {
+					feasible = false
+					break
+				}
+			}
+		}
+		if !feasible {
+			stuckSince++
+			if stuckSince > len(candidates) {
+				return nil, planError{fmt.Sprintf("cannot place remaining %d extras", extras)}
+			}
+			continue
+		}
+		stuckSince = 0
+		g := append([]string(nil), cand...)
+		for _, dk := range g {
+			quota[dk]--
+		}
+		groups = append(groups, g)
+		extras -= len(g) - 1
+	}
+	return groups, nil
+}
+
+// assignKeys gives lineages deterministic ground-truth keys in a stable
+// order (specials first, then by span descending, then by doc set).
+func assignKeys(lineages []Lineage, prefix string) {
+	sort.SliceStable(lineages, func(i, j int) bool {
+		si, sj := specialRank(lineages[i].Special), specialRank(lineages[j].Special)
+		if si != sj {
+			return si < sj
+		}
+		if len(lineages[i].Docs) != len(lineages[j].Docs) {
+			return len(lineages[i].Docs) > len(lineages[j].Docs)
+		}
+		return joinDocs(lineages[i].Docs) < joinDocs(lineages[j].Docs)
+	})
+	for i := range lineages {
+		lineages[i].Key = fmt.Sprintf("%s-%04d", prefix, i+1)
+	}
+}
+
+func specialRank(s string) int {
+	switch s {
+	case "longest":
+		return 0
+	case "core1to10":
+		return 1
+	case "gens6to10":
+		return 2
+	default:
+		return 3
+	}
+}
+
+func joinDocs(docs []string) string {
+	out := ""
+	for _, d := range docs {
+		out += d + "|"
+	}
+	return out
+}

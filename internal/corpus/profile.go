@@ -1,0 +1,310 @@
+// Package corpus generates the synthetic errata corpus that substitutes
+// for the withdrawn and proprietary Intel/AMD specification-update PDFs.
+//
+// The generator emits, deterministically from a seed, the 28 documents of
+// Table III with errata whose counts, duplicate structure, annotation
+// distributions, disclosure timelines and injected document errors are
+// calibrated to the statistics the paper reports. Every erratum carries a
+// hidden ground-truth annotation; the downstream pipeline (parse, dedup,
+// classify, annotate) must recover the statistics from the rendered text
+// alone, which is what the test suite verifies.
+package corpus
+
+import "time"
+
+// DocProfile describes one specification-update document to generate.
+type DocProfile struct {
+	// Key is the document key, e.g. "intel-06".
+	Key string
+	// Intel is true for Intel Core documents.
+	Intel bool
+	// Label is the generation/family label of Table III.
+	Label string
+	// Reference is the vendor document reference of Table III.
+	Reference string
+	// Prefix is the erratum-ID prefix for Intel documents (e.g. "SKL");
+	// empty for AMD, which uses global numeric identifiers.
+	Prefix string
+	// GenIndex is the Intel generation number (1..12); 0 for AMD.
+	GenIndex int
+	// Released is the initial release date of the CPU series.
+	Released time.Time
+	// LastUpdate is the date of the final document revision.
+	LastUpdate time.Time
+	// Count is the number of erratum entries the document must contain.
+	Count int
+	// RevisionMonths is the average number of months between revisions.
+	RevisionMonths int
+}
+
+func d(y, m int) time.Time {
+	return time.Date(y, time.Month(m), 1, 0, 0, 0, 0, time.UTC)
+}
+
+// IntelProfiles lists the 16 Intel Core documents of Table III. The
+// per-document entry counts sum to 2,057, the paper's Intel total.
+var IntelProfiles = []DocProfile{
+	{Key: "intel-01d", Intel: true, Label: "1 (D)", Reference: "320836-037US", Prefix: "AAJ", GenIndex: 1, Released: d(2008, 11), LastUpdate: d(2015, 4), Count: 140, RevisionMonths: 2},
+	{Key: "intel-01m", Intel: true, Label: "1 (M)", Reference: "322814-024US", Prefix: "AAT", GenIndex: 1, Released: d(2009, 9), LastUpdate: d(2015, 4), Count: 145, RevisionMonths: 3},
+	{Key: "intel-02d", Intel: true, Label: "2 (D)", Reference: "324643-037US", Prefix: "BJ", GenIndex: 2, Released: d(2011, 1), LastUpdate: d(2016, 6), Count: 150, RevisionMonths: 2},
+	{Key: "intel-02m", Intel: true, Label: "2 (M)", Reference: "324827-034US", Prefix: "BK", GenIndex: 2, Released: d(2011, 2), LastUpdate: d(2016, 6), Count: 152, RevisionMonths: 2},
+	{Key: "intel-03d", Intel: true, Label: "3 (D)", Reference: "326766-022US", Prefix: "BV", GenIndex: 3, Released: d(2012, 4), LastUpdate: d(2016, 7), Count: 130, RevisionMonths: 3},
+	{Key: "intel-03m", Intel: true, Label: "3 (M)", Reference: "326770-022US", Prefix: "BU", GenIndex: 3, Released: d(2012, 6), LastUpdate: d(2016, 7), Count: 132, RevisionMonths: 3},
+	{Key: "intel-04d", Intel: true, Label: "4 (D)", Reference: "328899-039US", Prefix: "HSD", GenIndex: 4, Released: d(2013, 6), LastUpdate: d(2017, 3), Count: 135, RevisionMonths: 2},
+	{Key: "intel-04m", Intel: true, Label: "4 (M)", Reference: "328903-038US", Prefix: "HSM", GenIndex: 4, Released: d(2013, 6), LastUpdate: d(2017, 3), Count: 138, RevisionMonths: 2},
+	{Key: "intel-05d", Intel: true, Label: "5 (D)", Reference: "332381-023US", Prefix: "BDD", GenIndex: 5, Released: d(2015, 1), LastUpdate: d(2018, 2), Count: 110, RevisionMonths: 3},
+	{Key: "intel-05m", Intel: true, Label: "5 (M)", Reference: "330836-031US", Prefix: "BDM", GenIndex: 5, Released: d(2014, 10), LastUpdate: d(2018, 2), Count: 112, RevisionMonths: 3},
+	{Key: "intel-06", Intel: true, Label: "6", Reference: "332689-028US", Prefix: "SKL", GenIndex: 6, Released: d(2015, 8), LastUpdate: d(2020, 6), Count: 180, RevisionMonths: 2},
+	{Key: "intel-07", Intel: true, Label: "7/8", Reference: "334663-013US", Prefix: "KBL", GenIndex: 7, Released: d(2016, 8), LastUpdate: d(2021, 2), Count: 150, RevisionMonths: 3},
+	{Key: "intel-08", Intel: true, Label: "8/9", Reference: "337346-002US", Prefix: "CFL", GenIndex: 8, Released: d(2017, 10), LastUpdate: d(2021, 8), Count: 140, RevisionMonths: 3},
+	{Key: "intel-10", Intel: true, Label: "10", Reference: "615213-010US", Prefix: "CML", GenIndex: 10, Released: d(2019, 8), LastUpdate: d(2022, 2), Count: 120, RevisionMonths: 3},
+	{Key: "intel-11", Intel: true, Label: "11", Reference: "634808-008US", Prefix: "RKL", GenIndex: 11, Released: d(2021, 3), LastUpdate: d(2022, 4), Count: 70, RevisionMonths: 2},
+	{Key: "intel-12", Intel: true, Label: "12", Reference: "682436-004US", Prefix: "ADL", GenIndex: 12, Released: d(2021, 11), LastUpdate: d(2022, 5), Count: 53, RevisionMonths: 2},
+}
+
+// AMDProfiles lists the 12 AMD family documents of Table III. The
+// per-document counts sum to 506, the paper's AMD total.
+var AMDProfiles = []DocProfile{
+	{Key: "amd-10h-00", Label: "10h 00-0F", Reference: "41322-3.84", Released: d(2008, 3), LastUpdate: d(2013, 3), Count: 60, RevisionMonths: 6},
+	{Key: "amd-11h-00", Label: "11h 00-0F", Reference: "41788-3.00", Released: d(2008, 6), LastUpdate: d(2011, 8), Count: 25, RevisionMonths: 8},
+	{Key: "amd-12h-00", Label: "12h 00-0F", Reference: "44739-3.10", Released: d(2011, 6), LastUpdate: d(2013, 4), Count: 30, RevisionMonths: 7},
+	{Key: "amd-14h-00", Label: "14h 00-0F", Reference: "47534-3.18", Released: d(2011, 1), LastUpdate: d(2013, 9), Count: 35, RevisionMonths: 6},
+	{Key: "amd-15h-00", Label: "15h 00-0F", Reference: "48063-3.24", Released: d(2011, 10), LastUpdate: d(2014, 10), Count: 55, RevisionMonths: 5},
+	{Key: "amd-15h-10", Label: "15h 10-1F", Reference: "48931-3.08", Released: d(2012, 5), LastUpdate: d(2014, 12), Count: 40, RevisionMonths: 6},
+	{Key: "amd-15h-30", Label: "15h 30-3F", Reference: "51603-1.06", Released: d(2014, 1), LastUpdate: d(2016, 3), Count: 42, RevisionMonths: 6},
+	{Key: "amd-15h-70", Label: "15h 70-7F", Reference: "55370-3.00", Released: d(2015, 6), LastUpdate: d(2017, 5), Count: 25, RevisionMonths: 8},
+	{Key: "amd-16h-00", Label: "16h 00-0F", Reference: "51810-3.06", Released: d(2013, 5), LastUpdate: d(2015, 9), Count: 38, RevisionMonths: 6},
+	{Key: "amd-17h-00", Label: "17h 00-0F", Reference: "55449-1.12", Released: d(2017, 3), LastUpdate: d(2020, 7), Count: 60, RevisionMonths: 5},
+	{Key: "amd-17h-30", Label: "17h 30-3F", Reference: "56323-0.78", Released: d(2019, 7), LastUpdate: d(2021, 9), Count: 48, RevisionMonths: 6},
+	{Key: "amd-19h-00", Label: "19h 00-0F", Reference: "56683-1.04", Released: d(2020, 11), LastUpdate: d(2022, 5), Count: 48, RevisionMonths: 5},
+}
+
+// Calibration targets from the paper (Section IV-A and V-B). The
+// generator is verified against these in its tests.
+const (
+	// TargetIntelTotal is the number of Intel erratum entries.
+	TargetIntelTotal = 2057
+	// TargetIntelUnique is the number of unique Intel errata.
+	TargetIntelUnique = 743
+	// TargetAMDTotal is the number of AMD erratum entries.
+	TargetAMDTotal = 506
+	// TargetAMDUnique is the number of unique AMD errata.
+	TargetAMDUnique = 385
+	// TargetTotal is the total number of erratum entries (2,563).
+	TargetTotal = TargetIntelTotal + TargetAMDTotal
+	// TargetUnique is the total number of unique errata (1,128).
+	TargetUnique = TargetIntelUnique + TargetAMDUnique
+
+	// SharedGens6To10 is the number of bugs shared by all Intel Core
+	// generations 6 to 10 (Figure 4).
+	SharedGens6To10 = 104
+	// LineagesCore1To10 is the number of bugs present from Core 1 to
+	// Core 10 (Section IV-B2).
+	LineagesCore1To10 = 6
+
+	// ComplexConditionFractionIntel is the fraction of unique Intel
+	// errata mentioning a "complex set of conditions".
+	ComplexConditionFractionIntel = 0.087
+	// ComplexConditionFractionAMD is the AMD counterpart.
+	ComplexConditionFractionAMD = 0.208
+	// TrivialTriggerFraction is the fraction of errata with no clear or
+	// only trivial triggers, excluded from Figure 11.
+	TrivialTriggerFraction = 0.144
+	// NoWorkaroundFractionIntel is the fraction of unique Intel errata
+	// without any suggested workaround (Figure 6).
+	NoWorkaroundFractionIntel = 0.359
+	// NoWorkaroundFractionAMD is the AMD counterpart.
+	NoWorkaroundFractionAMD = 0.289
+)
+
+// weighted is a category identifier with a sampling weight.
+type weighted struct {
+	id string
+	w  float64
+}
+
+// triggerWeights is the marginal sampling distribution over abstract
+// trigger categories, shaped after Figure 10: configuration-register
+// interactions, throttling and power-state transitions lead, followed by
+// feature, virtualization and external-input triggers.
+var triggerWeights = []weighted{
+	{"Trg_CFG_wrg", 13.0},
+	{"Trg_POW_tht", 10.0},
+	{"Trg_POW_pwc", 9.0},
+	{"Trg_FEA_cus", 6.5},
+	{"Trg_PRV_vmt", 6.0},
+	{"Trg_CFG_vmc", 5.0},
+	{"Trg_EXT_pci", 5.0},
+	{"Trg_FEA_dbg", 4.5},
+	{"Trg_EXT_rst", 4.0},
+	{"Trg_MOP_mmp", 3.5},
+	{"Trg_EXT_ram", 3.5},
+	{"Trg_FEA_tra", 3.0},
+	{"Trg_FLT_mca", 3.0},
+	{"Trg_CFG_pag", 3.0},
+	{"Trg_MOP_ptw", 2.5},
+	{"Trg_FEA_fpu", 2.5},
+	{"Trg_FEA_mon", 2.0},
+	{"Trg_MOP_atp", 2.0},
+	{"Trg_MOP_flc", 2.0},
+	{"Trg_PRV_ret", 2.0},
+	{"Trg_FLT_ovf", 1.8},
+	{"Trg_EXT_bus", 1.8},
+	{"Trg_MOP_fen", 1.5},
+	{"Trg_FLT_tmr", 1.5},
+	{"Trg_EXT_usb", 1.5},
+	{"Trg_MOP_spe", 1.2},
+	{"Trg_MBR_cbr", 1.2},
+	{"Trg_MOP_seg", 1.0},
+	{"Trg_MBR_pgb", 1.0},
+	{"Trg_EXT_iom", 1.0},
+	{"Trg_FEA_cid", 0.8},
+	{"Trg_FLT_ill", 0.8},
+	{"Trg_MOP_nst", 0.8},
+	{"Trg_MBR_mbr", 0.6},
+}
+
+// vendorTriggerBias multiplies trigger weights per vendor to reproduce
+// Figures 15 and 16: Intel over-represents custom-feature and tracing
+// triggers; AMD over-represents bus (HyperTransport) and IOMMU inputs.
+var vendorTriggerBias = map[string]struct{ intel, amd float64 }{
+	"Trg_FEA_cus": {1.5, 0.6},
+	"Trg_FEA_tra": {1.7, 0.4},
+	"Trg_FEA_mon": {1.3, 0.7},
+	"Trg_EXT_bus": {0.5, 2.2},
+	"Trg_EXT_iom": {0.6, 2.0},
+	"Trg_EXT_usb": {1.4, 0.7},
+	"Trg_EXT_ram": {0.9, 1.3},
+	"Trg_FEA_fpu": {0.8, 1.4},
+}
+
+// triggerPairBoost boosts the conditional probability of picking the
+// second trigger once the first is present, reproducing the salient
+// correlations of Figure 12 (debug features with VM transitions; DRAM
+// and PCIe with power-level changes; resets with PCIe).
+var triggerPairBoost = map[[2]string]float64{
+	{"Trg_FEA_dbg", "Trg_PRV_vmt"}: 6.0,
+	{"Trg_EXT_ram", "Trg_POW_pwc"}: 5.0,
+	{"Trg_EXT_pci", "Trg_POW_pwc"}: 5.0,
+	{"Trg_EXT_pci", "Trg_EXT_rst"}: 4.5,
+	{"Trg_CFG_wrg", "Trg_POW_tht"}: 4.0,
+	{"Trg_CFG_wrg", "Trg_POW_pwc"}: 3.5,
+	{"Trg_CFG_wrg", "Trg_FEA_cus"}: 3.0,
+	{"Trg_CFG_vmc", "Trg_PRV_vmt"}: 4.0,
+	{"Trg_MOP_ptw", "Trg_CFG_pag"}: 4.0,
+	{"Trg_POW_tht", "Trg_POW_pwc"}: 3.0,
+	{"Trg_FLT_mca", "Trg_POW_tht"}: 2.5,
+	{"Trg_MOP_mmp", "Trg_EXT_pci"}: 2.5,
+}
+
+// triggerCountWeights is the distribution of the number of (non-trivial)
+// triggers per erratum, shaped after Figure 11: mixing both vendors,
+// about half of the errata require at least two combined triggers.
+var triggerCountWeights = []weighted{
+	{"1", 51}, {"2", 32}, {"3", 12}, {"4", 4}, {"5", 1},
+}
+
+// contextWeights is the marginal distribution over context categories
+// (Figure 17): virtual-machine guests dominate.
+var contextWeights = []weighted{
+	{"Ctx_PRV_vmg", 10.0},
+	{"Ctx_PRV_smm", 4.5},
+	{"Ctx_PRV_boo", 4.0},
+	{"Ctx_PRV_vmh", 3.5},
+	{"Ctx_PRV_rea", 2.5},
+	{"Ctx_FEA_sec", 2.5},
+	{"Ctx_PHY_pkg", 1.5},
+	{"Ctx_FEA_sgc", 1.2},
+	{"Ctx_PHY_tmp", 1.0},
+	{"Ctx_PHY_vol", 0.8},
+}
+
+// contextCountWeights: most errata list no specific context; some one;
+// few several.
+var contextCountWeights = []weighted{
+	{"0", 55}, {"1", 33}, {"2", 10}, {"3", 2},
+}
+
+// effectWeights is the marginal distribution over effect categories
+// (Figure 18): corrupted registers, hangs and unpredictable behavior
+// are the most common observable effects.
+var effectWeights = []weighted{
+	{"Eff_CRP_reg", 12.0},
+	{"Eff_HNG_hng", 10.0},
+	{"Eff_HNG_unp", 9.0},
+	{"Eff_FLT_mca", 5.5},
+	{"Eff_FLT_fsp", 5.0},
+	{"Eff_CRP_prf", 4.5},
+	{"Eff_HNG_crh", 3.5},
+	{"Eff_FLT_unc", 3.0},
+	{"Eff_FLT_fms", 2.5},
+	{"Eff_EXT_pci", 2.5},
+	{"Eff_HNG_boo", 2.0},
+	{"Eff_FLT_fid", 1.8},
+	{"Eff_EXT_ram", 1.5},
+	{"Eff_EXT_mmd", 1.2},
+	{"Eff_EXT_usb", 1.2},
+	{"Eff_EXT_pow", 1.0},
+}
+
+// effectCountWeights: every erratum has at least one observable effect.
+var effectCountWeights = []weighted{
+	{"1", 62}, {"2", 30}, {"3", 8},
+}
+
+// msrWeights distributes the observable-effect MSR for errata whose
+// effects involve a corrupted register or machine-check report
+// (Figure 19): machine-check status registers lead, followed by
+// instruction-based sampling registers (AMD) and performance counters.
+var msrWeights = []weighted{
+	{"MCx_STATUS", 5.5},
+	{"MCx_ADDR", 4.0},
+	{"IA32_PERF_STATUS", 3.0},
+	{"IA32_PMCx", 4.5},
+	{"IA32_FIXED_CTRx", 2.5},
+	{"IA32_THERM_STATUS", 2.0},
+	{"IA32_APIC_BASE", 1.5},
+	{"IA32_DEBUGCTL", 1.5},
+	{"IA32_MISC_ENABLE", 1.2},
+	{"IA32_TSC", 1.0},
+}
+
+// amdMSRWeights is the AMD counterpart, with IBS registers prominent.
+var amdMSRWeights = []weighted{
+	{"MCx_STATUS", 5.5},
+	{"MCx_ADDR", 4.2},
+	{"IBS_FETCH_CTL", 4.0},
+	{"IBS_OP_DATA", 3.5},
+	{"PERF_CTRx", 4.0},
+	{"HWCR", 2.0},
+	{"APIC_BASE", 1.5},
+	{"TSC", 1.0},
+}
+
+// workaroundWeights gives, per vendor, the distribution over workaround
+// categories (Figure 6). The None fractions match the paper; the
+// remainder is split with BIOS workarounds leading.
+var workaroundWeightsIntel = []weighted{
+	{"None", 35.9},
+	{"BIOS", 32.0},
+	{"Software", 17.0},
+	{"Absent", 11.0},
+	{"Peripherals", 3.6},
+	{"DocumentationFix", 0.5},
+}
+
+var workaroundWeightsAMD = []weighted{
+	{"None", 28.9},
+	{"BIOS", 36.0},
+	{"Software", 20.0},
+	{"Absent", 11.0},
+	{"Peripherals", 3.6},
+	{"DocumentationFix", 0.5},
+}
+
+// fixWeights gives the distribution of fix statuses (Figure 7): the vast
+// majority of bugs are never fixed. For Intel the fixed fraction grows
+// weakly with the generation index (handled in the generator).
+var fixWeights = []weighted{
+	{"NoFixPlanned", 88}, {"FixPlanned", 5}, {"Fixed", 7},
+}

@@ -1,0 +1,433 @@
+package corpus
+
+// Phrase banks used to synthesize the human-language erratum text from a
+// ground-truth annotation. Each abstract category has several concrete
+// phrasings; the first phrasings carry distinctive keywords that the
+// regex-based auto-classifier can match, while the last one in each bank
+// is deliberately vaguer so that a share of the corpus requires human
+// (simulated-annotator) decisions, as in the paper.
+
+// triggerPhrases maps an abstract trigger category to concrete-level
+// phrasings. Placeholders: none; phrases are complete clauses that fit
+// the pattern "When <clause>, ...".
+var triggerPhrases = map[string][]string{
+	"Trg_MBR_cbr": {
+		"a locked data access spans a cache line boundary",
+		"a data operation crosses a cache line boundary",
+		"an unaligned store straddles two cache lines",
+	},
+	"Trg_MBR_pgb": {
+		"a load operation crosses a page boundary",
+		"a data access spans a 4-KByte page boundary",
+		"an operand straddles two pages",
+	},
+	"Trg_MBR_mbr": {
+		"an access reaches the canonical address boundary",
+		"a data operation crosses a memory map boundary",
+		"an address wraps at the memory map limit",
+	},
+	"Trg_MOP_mmp": {
+		"software accesses a memory-mapped I/O range",
+		"a write targets a memory-mapped register of the device",
+		"an access to the memory-mapped element occurs",
+	},
+	"Trg_MOP_atp": {
+		"a locked atomic operation is executed",
+		"a transactional memory region aborts",
+		"an atomic read-modify-write is in flight",
+	},
+	"Trg_MOP_fen": {
+		"a memory fence instruction is executed",
+		"a serializing instruction retires between the two operations",
+		"an MFENCE separates the two stores",
+	},
+	"Trg_MOP_seg": {
+		"a segment with a non-zero base is used",
+		"the segment mode changes between accesses",
+		"a segment limit condition is met",
+	},
+	"Trg_MOP_ptw": {
+		"the core performs a page table walk",
+		"a page table walk is in progress",
+		"the translation requires a table walk",
+	},
+	"Trg_MOP_nst": {
+		"an address is translated through nested page tables",
+		"a nested translation is performed for the guest",
+		"the nested paging structures are traversed",
+	},
+	"Trg_MOP_flc": {
+		"a cache line flush instruction is executed",
+		"the TLB entry is flushed by an invalidation",
+		"software flushes the affected line",
+	},
+	"Trg_MOP_spe": {
+		"a speculative memory operation is issued",
+		"a load executes speculatively past the branch",
+		"the access happens under speculation",
+	},
+	"Trg_FLT_ovf": {
+		"a performance counter overflow occurs",
+		"the counter overflows while raising an interrupt",
+		"an overflow condition is signaled",
+	},
+	"Trg_FLT_tmr": {
+		"an APIC timer event expires",
+		"a timer interrupt arrives at the boundary",
+		"the periodic timer fires",
+	},
+	"Trg_FLT_mca": {
+		"a machine check exception is being delivered",
+		"a machine check event is logged concurrently",
+		"an MCA error is signaled",
+	},
+	"Trg_FLT_ill": {
+		"an illegal instruction is decoded",
+		"an undefined opcode raises #UD",
+		"an invalid instruction encoding is fetched",
+	},
+	"Trg_PRV_ret": {
+		"the processor resumes from System Management Mode via RSM",
+		"a return from SMM occurs",
+		"execution resumes from the management handler",
+	},
+	"Trg_PRV_vmt": {
+		"a VM entry or VM exit transition occurs",
+		"the processor transitions from hypervisor to guest",
+		"a world switch to the guest is performed",
+	},
+	"Trg_CFG_pag": {
+		"the paging mode is changed by writing CR0 or CR4",
+		"a paging structure entry is modified",
+		"software toggles a paging mechanism control",
+	},
+	"Trg_CFG_vmc": {
+		"a VMCS field is written with an inconsistent value",
+		"the virtual machine control structure is reconfigured",
+		"a virtualization control setting is updated",
+	},
+	"Trg_CFG_wrg": {
+		"software writes a model specific register with a reserved encoding",
+		"a configuration register interaction occurs through WRMSR",
+		"an MSR write changes the configuration",
+		"the configuration register is programmed",
+	},
+	"Trg_POW_pwc": {
+		"the core resumes from the C6 power state",
+		"a transition between package power states occurs",
+		"the processor enters or exits a low-power C-state",
+		"a power state change is requested",
+	},
+	"Trg_POW_tht": {
+		"thermal throttling engages under load",
+		"the power supply conditions change abruptly",
+		"a thermal event causes frequency throttling",
+		"operating conditions cross the throttle point",
+	},
+	"Trg_EXT_rst": {
+		"a warm reset is applied to the processor",
+		"a cold reset occurs during the operation",
+		"the reset signal is asserted",
+	},
+	"Trg_EXT_pci": {
+		"ongoing PCIe traffic is present on the link",
+		"a PCIe device issues a peer-to-peer transaction",
+		"the PCI Express link retrains",
+	},
+	"Trg_EXT_usb": {
+		"a USB device is attached during the transfer",
+		"the xHCI controller processes a USB transaction",
+		"USB traffic is active on the port",
+	},
+	"Trg_EXT_ram": {
+		"a specific DRAM configuration with mixed ranks is populated",
+		"the DDR interface operates at the boundary frequency",
+		"the memory is configured in the affected mode",
+	},
+	"Trg_EXT_iom": {
+		"a device access is translated through the IOMMU",
+		"an IOMMU page table lookup is performed",
+		"DMA remapping is active for the device",
+	},
+	"Trg_EXT_bus": {
+		"a HyperTransport link transaction is pending",
+		"the QPI system bus carries a snoop",
+		"a system bus interaction is outstanding",
+	},
+	"Trg_FEA_fpu": {
+		"an x87 floating-point instruction executes",
+		"an FSAVE or FNSTENV instruction stores the x87 environment",
+		"a floating-point operation with an unmasked exception retires",
+	},
+	"Trg_FEA_dbg": {
+		"a hardware breakpoint on the debug registers is armed",
+		"single-stepping with the trap flag is enabled",
+		"a debug feature intercepts the instruction",
+	},
+	"Trg_FEA_cid": {
+		"the CPUID instruction reports the feature leaf",
+		"software queries the design identification",
+		"a CPUID report is consumed by the sequence",
+	},
+	"Trg_FEA_mon": {
+		"a MONITOR/MWAIT pair is armed",
+		"the monitored address range is written",
+		"an MWAIT wakes the logical processor",
+	},
+	"Trg_FEA_tra": {
+		"processor trace packet generation is enabled",
+		"a tracing feature records the branch",
+		"the trace buffer is being written",
+	},
+	"Trg_FEA_cus": {
+		"an SSE or MMX instruction with a specific operand pattern executes",
+		"the specific extension feature is operated",
+		"a custom feature sequence is performed",
+	},
+}
+
+// contextPhrases maps abstract context categories to concrete phrasings
+// that fit "while <clause>".
+var contextPhrases = map[string][]string{
+	"Ctx_PRV_boo": {
+		"the platform is booting and executing BIOS code",
+		"the system is in the UEFI initialization phase",
+		"early firmware initialization is in progress",
+	},
+	"Ctx_PRV_vmg": {
+		"running as a virtual machine guest",
+		"executing inside a hardware virtualized guest",
+		"the code operates in guest mode",
+	},
+	"Ctx_PRV_rea": {
+		"operating in real-address mode or virtual-8086 mode",
+		"the processor runs in real mode",
+		"legacy real-mode execution is active",
+	},
+	"Ctx_PRV_vmh": {
+		"operating as the hypervisor",
+		"executing in VMX root operation",
+		"host mode is active",
+	},
+	"Ctx_PRV_smm": {
+		"executing in System Management Mode",
+		"the SMM handler is running",
+		"management mode is active",
+	},
+	"Ctx_FEA_sec": {
+		"a security feature such as SGX or SVM is enabled",
+		"the secure enclave mode is in use",
+		"the security extension is active",
+	},
+	"Ctx_FEA_sgc": {
+		"running in a single-core configuration",
+		"only one core is enabled on the die",
+		"the part operates with a single active core",
+	},
+	"Ctx_PHY_pkg": {
+		"using the affected package variant",
+		"on packages with the specific ball-out",
+		"with the affected package option",
+	},
+	"Ctx_PHY_tmp": {
+		"operating at a low ambient temperature",
+		"under the specific temperature condition",
+		"when the die temperature is in the affected range",
+	},
+	"Ctx_PHY_vol": {
+		"at the minimum operating voltage",
+		"under the specific voltage condition",
+		"when the supply voltage is marginal",
+	},
+}
+
+// effectPhrases maps abstract effect categories to concrete phrasings
+// that fit "the processor may <clause>" or standalone sentences.
+var effectPhrases = map[string][]string{
+	"Eff_HNG_unp": {
+		"unpredictable system behavior may occur",
+		"the results of the operation may be incorrect",
+		"the system may behave unexpectedly",
+	},
+	"Eff_HNG_hng": {
+		"the processor may hang",
+		"a system hang may be observed",
+		"the part may stop responding",
+	},
+	"Eff_HNG_crh": {
+		"the processor may crash",
+		"an unrecoverable crash may result",
+		"the system may go down",
+	},
+	"Eff_HNG_boo": {
+		"the system may fail to boot",
+		"a boot failure may be observed",
+		"the platform may not complete POST",
+	},
+	"Eff_FLT_mca": {
+		"a machine check exception may be signaled",
+		"an MCA error may be reported",
+		"the machine check architecture may log an event",
+	},
+	"Eff_FLT_unc": {
+		"an uncorrectable error may be reported",
+		"an uncorrected error may be logged",
+		"data with an uncorrectable fault may be consumed",
+	},
+	"Eff_FLT_fsp": {
+		"a spurious page fault may be reported",
+		"one or multiple spurious faults may be delivered",
+		"an unexpected exception may be raised",
+	},
+	"Eff_FLT_fms": {
+		"an expected fault may be missing",
+		"the fault may not be delivered",
+		"a required exception may be suppressed",
+	},
+	"Eff_FLT_fid": {
+		"a fault with a wrong error code may be delivered",
+		"the fault identifier or ordering may be incorrect",
+		"exceptions may be reported in the wrong order",
+	},
+	"Eff_CRP_prf": {
+		"a performance counter may report a wrong value",
+		"performance monitoring counters may be inaccurate",
+		"the counter value may be corrupted",
+	},
+	"Eff_CRP_reg": {
+		"the MSR may contain a wrong value",
+		"a model specific register may be corrupted",
+		"the register state may be incorrect after the sequence",
+	},
+	"Eff_EXT_pci": {
+		"malformed transactions may be observed on the PCIe side",
+		"the PCIe link may enter an erroneous state",
+		"devices may observe protocol violations",
+	},
+	"Eff_EXT_usb": {
+		"USB transfers may be dropped",
+		"issues may be observable on the USB side",
+		"the USB port may misbehave",
+	},
+	"Eff_EXT_mmd": {
+		"audio or graphics corruption may be visible",
+		"multimedia issues may be observed",
+		"display artifacts may appear",
+	},
+	"Eff_EXT_ram": {
+		"abnormal DRAM interactions may be observed",
+		"memory training may fail",
+		"the DDR interface may violate timing",
+	},
+	"Eff_EXT_pow": {
+		"abnormal power consumption may be measured",
+		"the package may draw excessive power",
+		"power consumption may exceed specification",
+	},
+}
+
+// titleFragments provides, per effect category, a title-style fragment
+// used to compose erratum titles ("<Subject> May <Fragment>").
+var titleFragments = map[string][]string{
+	"Eff_HNG_unp": {"Lead to Unpredictable System Behavior", "Produce Incorrect Results"},
+	"Eff_HNG_hng": {"Cause a System Hang", "Hang"},
+	"Eff_HNG_crh": {"Crash", "Cause an Unrecoverable Failure"},
+	"Eff_HNG_boo": {"Prevent the System From Booting", "Cause a Boot Failure"},
+	"Eff_FLT_mca": {"Signal a Machine Check Exception", "Log an Erroneous Machine Check"},
+	"Eff_FLT_unc": {"Report an Uncorrectable Error"},
+	"Eff_FLT_fsp": {"Report a Spurious Fault", "Deliver an Unexpected Exception"},
+	"Eff_FLT_fms": {"Fail to Deliver an Expected Fault", "Suppress a Required Exception"},
+	"Eff_FLT_fid": {"Deliver a Fault With a Wrong Error Code", "Report Exceptions in the Wrong Order"},
+	"Eff_CRP_prf": {"Report Incorrect Performance Counter Values", "Corrupt Performance Monitoring Counters"},
+	"Eff_CRP_reg": {"Be Saved Incorrectly", "Contain a Wrong Value", "Be Corrupted"},
+	"Eff_EXT_pci": {"Produce Malformed PCIe Transactions", "Violate the PCIe Protocol"},
+	"Eff_EXT_usb": {"Drop USB Transfers", "Cause USB Port Issues"},
+	"Eff_EXT_mmd": {"Cause Display Artifacts", "Corrupt Audio Output"},
+	"Eff_EXT_ram": {"Cause Abnormal DRAM Interactions", "Fail Memory Training"},
+	"Eff_EXT_pow": {"Draw Excessive Power", "Exceed Power Specifications"},
+}
+
+// titleSubjects provides, per trigger class, a subject for erratum
+// titles.
+var titleSubjects = map[string][]string{
+	"Trg_MBR": {"Boundary-Crossing Accesses", "Unaligned Operations"},
+	"Trg_MOP": {"Certain Memory Operations", "Memory Accesses Under Specific Conditions"},
+	"Trg_FLT": {"Concurrent Exception Conditions", "Certain Fault Sequences"},
+	"Trg_PRV": {"Privilege Transitions", "Mode Switches"},
+	"Trg_CFG": {"Specific Configuration Sequences", "Certain MSR Writes"},
+	"Trg_POW": {"Power State Transitions", "Thermal Conditions"},
+	"Trg_EXT": {"External Device Interactions", "Platform-Level Events"},
+	"Trg_FEA": {"Use of Specific Features", "Certain Instruction Sequences"},
+}
+
+// workaroundTexts gives the workaround field text per category. The
+// classifier for Figure 6 keys on these formulations.
+var workaroundTexts = map[string][]string{
+	"None": {
+		"None identified.",
+		"None identified. Software should not rely on the affected behavior.",
+	},
+	"BIOS": {
+		"It is possible for the BIOS to contain a workaround for this erratum.",
+		"A BIOS code change has been identified and may be implemented as a workaround for this erratum.",
+	},
+	"Software": {
+		"System software may contain the workaround for this erratum.",
+		"Software should avoid the described sequence to work around this erratum.",
+	},
+	"Peripherals": {
+		"The attached device must tolerate the described behavior as a workaround.",
+		"Peripheral firmware may contain the workaround for this erratum.",
+	},
+	"Absent": {
+		"Contact your Intel representative for information on a BIOS update.",
+		"Contact your AMD representative for available workaround information.",
+	},
+	"DocumentationFix": {
+		"The documentation will be updated to reflect the intended behavior; this is a documentation fix.",
+	},
+}
+
+// statusTexts gives the status field text per fix status.
+var statusTexts = map[string][]string{
+	"NoFixPlanned": {
+		"No fix planned.",
+		"For the steppings affected, refer to the Summary Table of Changes. No fix.",
+	},
+	"FixPlanned": {
+		"A fix is planned for a future stepping.",
+		"Planned to be fixed in a subsequent revision.",
+	},
+	"Fixed": {
+		"Fixed in stepping B0.",
+		"This erratum is fixed in the latest stepping.",
+	},
+}
+
+// complexConditionSentences flag the "complex set of conditions" errata.
+var complexConditionSentences = []string{
+	"Under a highly specific and detailed set of internal timing conditions, this erratum may occur.",
+	"Due to a complex set of internal conditions, the described behavior may be observed.",
+	"This erratum occurs under a complex set of conditions.",
+}
+
+// trivialTriggerSentences describe errata without a clear trigger.
+var trivialTriggerSentences = []string{
+	"During normal operation with ordinary load and store activity, the described behavior may occur.",
+	"Under intense workloads, the described behavior may be observed.",
+	"In the course of routine execution, this erratum may occur.",
+}
+
+// implicationLeads introduce the implication field.
+var implicationLeads = []string{
+	"Software that depends on the affected behavior may not operate properly.",
+	"The system may be affected as described.",
+	"Due to this erratum, the platform may be impacted.",
+}
+
+// notObservedSentence mirrors the common vendor statement.
+const notObservedSentence = "The vendor has not observed this erratum with any commercially available software."
+
+// simulationOnlySentence marks bugs only reproduced in design
+// simulation (five AMD and one Intel erratum in the paper).
+const simulationOnlySentence = "This erratum has only been observed in simulation."

@@ -1,0 +1,318 @@
+package dedup
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/specdoc"
+	"repro/internal/textsim"
+)
+
+func buildSmallDB(t *testing.T) *core.Database {
+	t.Helper()
+	db := core.NewDatabase()
+	docs := []*core.Document{
+		{
+			Key: "intel-01d", Vendor: core.Intel, Label: "1 (D)", Order: 0, GenIndex: 1,
+			Errata: []*core.Erratum{
+				{DocKey: "intel-01d", ID: "AAJ001", Seq: 1, Title: "Processor May Hang During Power State Transitions"},
+				{DocKey: "intel-01d", ID: "AAJ002", Seq: 2, Title: "Counter May Report Wrong Values"},
+			},
+		},
+		{
+			Key: "intel-02d", Vendor: core.Intel, Label: "2 (D)", Order: 2, GenIndex: 2,
+			Errata: []*core.Erratum{
+				// Exact duplicate of AAJ001 (modulo case/punctuation).
+				{DocKey: "intel-02d", ID: "BJ001", Seq: 1, Title: "Processor may hang during power state transitions."},
+				// Near-duplicate of AAJ002, needs manual confirmation.
+				{DocKey: "intel-02d", ID: "BJ002", Seq: 2, Title: "Counter Might Report Wrong Values"},
+				// Unrelated.
+				{DocKey: "intel-02d", ID: "BJ003", Seq: 3, Title: "USB Controller Drops Packets"},
+			},
+		},
+		{
+			Key: "amd-17h-00", Vendor: core.AMD, Label: "17h 00-0F", Order: 0,
+			Errata: []*core.Erratum{
+				{DocKey: "amd-17h-00", ID: "1001", Seq: 1, Title: "Hang Under Contention"},
+				{DocKey: "amd-17h-00", ID: "1002", Seq: 2, Title: "Wrong IBS Data"},
+			},
+		},
+		{
+			Key: "amd-19h-00", Vendor: core.AMD, Label: "19h 00-0F", Order: 1,
+			Errata: []*core.Erratum{
+				{DocKey: "amd-19h-00", ID: "1001", Seq: 1, Title: "Hang Under Contention"},
+				{DocKey: "amd-19h-00", ID: "1003", Seq: 2, Title: "Fresh Bug"},
+			},
+		},
+	}
+	for _, d := range docs {
+		if err := db.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestDedupAMDByID(t *testing.T) {
+	db := buildSmallDB(t)
+	res, err := Deduplicate(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniqueAMD != 3 {
+		t.Errorf("AMD unique = %d, want 3", res.UniqueAMD)
+	}
+	a := db.Docs["amd-17h-00"].Erratum("1001")
+	b := db.Docs["amd-19h-00"].Erratum("1001")
+	if a.Key != b.Key || a.Key != "A-1001" {
+		t.Errorf("AMD shared-ID keys = (%q,%q)", a.Key, b.Key)
+	}
+}
+
+func TestDedupIntelExactTitle(t *testing.T) {
+	db := buildSmallDB(t)
+	res, err := Deduplicate(db, Options{}) // no oracle: exact titles only
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 Intel entries, one exact-title pair -> 4 clusters.
+	if res.UniqueIntel != 4 {
+		t.Errorf("Intel unique = %d, want 4", res.UniqueIntel)
+	}
+	a := db.Docs["intel-01d"].Erratum("AAJ001")
+	b := db.Docs["intel-02d"].Erratum("BJ001")
+	if a.Key == "" || a.Key != b.Key {
+		t.Errorf("exact-title pair keys = (%q,%q)", a.Key, b.Key)
+	}
+	// The near-duplicate must NOT be merged without an oracle.
+	c := db.Docs["intel-01d"].Erratum("AAJ002")
+	d := db.Docs["intel-02d"].Erratum("BJ002")
+	if c.Key == d.Key {
+		t.Error("near-duplicate merged without oracle")
+	}
+}
+
+func TestDedupIntelWithOracle(t *testing.T) {
+	db := buildSmallDB(t)
+	oracle := func(a, b *core.Erratum) bool {
+		// Confirm only the Counter pair.
+		return (a.ID == "AAJ002" && b.ID == "BJ002") || (a.ID == "BJ002" && b.ID == "AAJ002")
+	}
+	res, err := Deduplicate(db, Options{Oracle: oracle, Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniqueIntel != 3 {
+		t.Errorf("Intel unique = %d, want 3", res.UniqueIntel)
+	}
+	if res.ConfirmedPairs != 1 {
+		t.Errorf("confirmed pairs = %d, want 1", res.ConfirmedPairs)
+	}
+	c := db.Docs["intel-01d"].Erratum("AAJ002")
+	d := db.Docs["intel-02d"].Erratum("BJ002")
+	if c.Key != d.Key {
+		t.Error("oracle-confirmed pair not merged")
+	}
+	// Representative key comes from the earliest document.
+	if c.Key != d.Key || c.Key == "" {
+		t.Errorf("keys = (%q,%q)", c.Key, d.Key)
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	db1 := buildSmallDB(t)
+	db2 := buildSmallDB(t)
+	if _, err := Deduplicate(db1, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Deduplicate(db2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e1 := db1.Errata()
+	e2 := db2.Errata()
+	for i := range e1 {
+		if e1[i].Key != e2[i].Key {
+			t.Fatalf("key instability at %s: %q vs %q", e1[i].FullID(), e1[i].Key, e2[i].Key)
+		}
+	}
+}
+
+// TestFullCorpusDedup runs the complete pipeline segment: generate ->
+// render -> parse -> deduplicate, and checks the paper's unique counts.
+func TestFullCorpusDedup(t *testing.T) {
+	gt, err := corpus.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := specdoc.WriteAll(gt.DB, specdoc.WriteOptions{})
+	db, _, err := specdoc.ParseAll(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground-truth oracle: the simulated manual inspection. Entries are
+	// identified by document key and sequence.
+	truth := make(map[string]string)
+	for _, e := range gt.DB.Errata() {
+		truth[corpus.EntryRef(e)] = e.Key
+	}
+	oracle := func(a, b *core.Erratum) bool {
+		return truth[corpus.EntryRef(a)] == truth[corpus.EntryRef(b)] &&
+			truth[corpus.EntryRef(a)] != ""
+	}
+
+	res, err := Deduplicate(db, Options{Oracle: oracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniqueIntel != corpus.TargetIntelUnique {
+		t.Errorf("Intel unique = %d, want %d", res.UniqueIntel, corpus.TargetIntelUnique)
+	}
+	if res.UniqueAMD != corpus.TargetAMDUnique {
+		t.Errorf("AMD unique = %d, want %d", res.UniqueAMD, corpus.TargetAMDUnique)
+	}
+	if res.ConfirmedPairs != 29 {
+		t.Errorf("confirmed pairs = %d, want 29 (the paper's manual count)", res.ConfirmedPairs)
+	}
+
+	// Recovered clustering must match the ground truth exactly: two
+	// entries share a recovered key iff they share a lineage.
+	keyToLineage := make(map[string]string)
+	for _, e := range db.Errata() {
+		lin := truth[corpus.EntryRef(e)]
+		if prev, ok := keyToLineage[e.Key]; ok && prev != lin {
+			t.Fatalf("cluster %s mixes lineages %s and %s", e.Key, prev, lin)
+		}
+		keyToLineage[e.Key] = lin
+	}
+	lineageToKey := make(map[string]string)
+	for _, e := range db.Errata() {
+		lin := truth[corpus.EntryRef(e)]
+		if prev, ok := lineageToKey[lin]; ok && prev != e.Key {
+			t.Fatalf("lineage %s split into clusters %s and %s", lin, prev, e.Key)
+		}
+		lineageToKey[lin] = e.Key
+	}
+}
+
+func TestDSUBasics(t *testing.T) {
+	d := NewDSU(5)
+	if d.Sets() != 5 {
+		t.Fatalf("initial sets = %d", d.Sets())
+	}
+	if !d.Union(0, 1) || !d.Union(2, 3) || !d.Union(1, 2) {
+		t.Fatal("unions failed")
+	}
+	if d.Union(0, 3) {
+		t.Error("union of same set returned true")
+	}
+	if d.Sets() != 2 {
+		t.Errorf("sets = %d, want 2", d.Sets())
+	}
+	if d.SizeOf(1) != 4 || d.SizeOf(4) != 1 {
+		t.Errorf("sizes = (%d,%d)", d.SizeOf(1), d.SizeOf(4))
+	}
+	if d.Find(0) != d.Find(3) || d.Find(0) == d.Find(4) {
+		t.Error("find results inconsistent")
+	}
+}
+
+// Property: after any sequence of unions, Find is consistent (two
+// elements united transitively share a root) and set count plus total
+// merges equals n.
+func TestPropertyDSU(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 64
+		d := NewDSU(n)
+		merges := 0
+		type pr struct{ a, b int }
+		var applied []pr
+		for _, p := range pairs {
+			a, b := int(p%n), int((p/n)%n)
+			if d.Union(a, b) {
+				merges++
+			}
+			applied = append(applied, pr{a, b})
+		}
+		if d.Sets()+merges != n {
+			return false
+		}
+		for _, p := range applied {
+			if d.Find(p.a) != d.Find(p.b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarityMetricsOptions(t *testing.T) {
+	db := buildSmallDB(t)
+	for _, m := range []textsim.Metric{textsim.MetricJaccard, textsim.MetricDice, textsim.MetricLevenshtein} {
+		db2 := buildSmallDB(t)
+		if _, err := Deduplicate(db2, Options{Metric: m}); err != nil {
+			t.Errorf("metric %s: %v", m, err)
+		}
+	}
+	_ = db
+}
+
+func TestMaxReviews(t *testing.T) {
+	db := buildSmallDB(t)
+	calls := 0
+	oracle := func(a, b *core.Erratum) bool { calls++; return false }
+	res, err := Deduplicate(db, Options{Oracle: oracle, Threshold: 0.1, MaxReviews: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reviewed) != 1 || calls != 1 {
+		t.Errorf("reviews = %d, oracle calls = %d, want 1 each", len(res.Reviewed), calls)
+	}
+}
+
+// TestLSHMatchesExactOnFullCorpus runs the full-corpus dedup through
+// the LSH candidate generator and checks it recovers the same unique
+// counts and confirmed pairs as the exact scan.
+func TestLSHMatchesExactOnFullCorpus(t *testing.T) {
+	gt, err := corpus.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := specdoc.WriteAll(gt.DB, specdoc.WriteOptions{})
+	truth := make(map[string]string)
+	for _, e := range gt.DB.Errata() {
+		truth[corpus.EntryRef(e)] = e.Key
+	}
+	oracle := func(a, b *core.Erratum) bool {
+		return truth[corpus.EntryRef(a)] != "" &&
+			truth[corpus.EntryRef(a)] == truth[corpus.EntryRef(b)]
+	}
+
+	db, _, err := specdoc.ParseAll(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Deduplicate(db, Options{Oracle: oracle, UseLSH: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniqueIntel != corpus.TargetIntelUnique {
+		t.Errorf("LSH unique Intel = %d, want %d", res.UniqueIntel, corpus.TargetIntelUnique)
+	}
+	if res.ConfirmedPairs != 29 {
+		t.Errorf("LSH confirmed pairs = %d, want 29", res.ConfirmedPairs)
+	}
+	// The LSH path reviews far fewer than the exact candidate volume
+	// would at a low threshold, but every reviewed pair must be genuine
+	// (score at or above the threshold).
+	for _, p := range res.Reviewed {
+		if p.Score < 0.6 {
+			t.Errorf("reviewed pair below threshold: %v", p.Score)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package report renders analysis results as aligned ASCII tables,
+// horizontal bar charts, heatmaps and time series, plus CSV export —
+// the stdlib-only stand-in for the paper's matplotlib figures. Each
+// renderer corresponds to a figure style used in the paper.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table renders an aligned ASCII table with a header row.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar is one bar of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	// Note is an optional annotation rendered after the value.
+	Note string
+}
+
+// BarChart renders a horizontal bar chart scaled to width characters.
+func BarChart(title string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for _, bar := range bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(bar.Value / maxVal * float64(width))
+		}
+		if bar.Value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%s |%s %.6g", pad(bar.Label, maxLabel), strings.Repeat("#", n), bar.Value)
+		if bar.Note != "" {
+			b.WriteString(" " + bar.Note)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// heatRunes maps intensity deciles to characters.
+var heatRunes = []rune(" .:-=+*#%@")
+
+// Heatmap renders a matrix with row/column labels; cell intensity is
+// scaled to the matrix maximum (used for Figures 3 and 12).
+func Heatmap(title string, labels []string, matrix [][]int) string {
+	maxVal := 0
+	for _, row := range matrix {
+		for _, v := range row {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	maxLabel := 0
+	for _, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	// Column header: index numbers.
+	b.WriteString(strings.Repeat(" ", maxLabel+1))
+	for j := range labels {
+		fmt.Fprintf(&b, "%3d", j)
+	}
+	b.WriteString("\n")
+	for i, row := range matrix {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		b.WriteString(pad(label, maxLabel) + " ")
+		for _, v := range row {
+			r := heatRunes[0]
+			if maxVal > 0 && v > 0 {
+				idx := v * (len(heatRunes) - 1) / maxVal
+				if idx == 0 {
+					idx = 1
+				}
+				r = heatRunes[idx]
+			}
+			fmt.Fprintf(&b, "  %c", r)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "scale: max=%d\n", maxVal)
+	return b.String()
+}
+
+// Point is one (date, value) sample of a time series.
+type Point struct {
+	Date  time.Time
+	Value int
+}
+
+// Series renders one or more named cumulative series as a year-binned
+// text plot (used for Figures 2, 4 and 5).
+func Series(title string, series map[string][]Point, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	maxVal := 0
+	for _, pts := range series {
+		for _, p := range pts {
+			if p.Value > maxVal {
+				maxVal = p.Value
+			}
+		}
+	}
+	for _, name := range names {
+		pts := series[name]
+		if len(pts) == 0 {
+			fmt.Fprintf(&b, "%s: (empty)\n", name)
+			continue
+		}
+		final := pts[len(pts)-1]
+		n := 0
+		if maxVal > 0 {
+			n = final.Value * width / maxVal
+		}
+		fmt.Fprintf(&b, "%-28s %s-%s |%s %d\n",
+			name,
+			pts[0].Date.Format("2006-01"),
+			final.Date.Format("2006-01"),
+			strings.Repeat("#", n), final.Value)
+	}
+	return b.String()
+}
+
+// YearlyBreakdown renders a per-year value table for a series, which
+// preserves the curve's shape in text form.
+func YearlyBreakdown(name string, pts []Point) string {
+	if len(pts) == 0 {
+		return name + ": (empty)\n"
+	}
+	byYear := map[int]int{}
+	for _, p := range pts {
+		y := p.Date.Year()
+		if p.Value > byYear[y] {
+			byYear[y] = p.Value
+		}
+	}
+	years := make([]int, 0, len(byYear))
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	var b strings.Builder
+	b.WriteString(name + ":")
+	for _, y := range years {
+		fmt.Fprintf(&b, " %d:%d", y, byYear[y])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// CSV renders rows as an RFC-4180-ish CSV string (quoting cells that
+// contain commas, quotes or newlines).
+func CSV(headers []string, rows [][]string) string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvCell(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func csvCell(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"ID", "Name"}, [][]string{
+		{"1", "short"},
+		{"22", "a much longer name"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "ID ") || !strings.Contains(lines[0], "Name") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "--") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// All rows align the second column at the same offset.
+	off := strings.Index(lines[0], "Name")
+	if strings.Index(lines[2], "short") != off || strings.Index(lines[3], "a much") != off {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("title", []Bar{
+		{Label: "a", Value: 10},
+		{Label: "bb", Value: 5, Note: "(half)"},
+		{Label: "c", Value: 0},
+	}, 10)
+	if !strings.HasPrefix(out, "title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines:\n%s", out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "#####") || !strings.Contains(lines[2], "(half)") {
+		t.Errorf("half bar wrong: %q", lines[2])
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Errorf("zero bar should have no fill: %q", lines[3])
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("hm", []string{"r1", "r2"}, [][]int{{4, 0}, {2, 4}})
+	if !strings.Contains(out, "hm\n") || !strings.Contains(out, "max=4") {
+		t.Errorf("heatmap:\n%s", out)
+	}
+	// The maximum cell uses the densest rune, zero uses space.
+	if !strings.Contains(out, "@") {
+		t.Errorf("max rune missing:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	d := func(y int) time.Time { return time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC) }
+	out := Series("fig", map[string][]Point{
+		"intel-06": {{d(2015), 1}, {d(2017), 100}},
+		"empty":    nil,
+	}, 20)
+	if !strings.Contains(out, "intel-06") || !strings.Contains(out, "2015-01") ||
+		!strings.Contains(out, "100") {
+		t.Errorf("series:\n%s", out)
+	}
+	if !strings.Contains(out, "empty: (empty)") {
+		t.Errorf("empty series:\n%s", out)
+	}
+}
+
+func TestYearlyBreakdown(t *testing.T) {
+	d := func(y, m int) time.Time { return time.Date(y, time.Month(m), 1, 0, 0, 0, 0, time.UTC) }
+	out := YearlyBreakdown("doc", []Point{
+		{d(2015, 3), 5}, {d(2015, 9), 12}, {d(2016, 1), 20},
+	})
+	if !strings.Contains(out, "2015:12") || !strings.Contains(out, "2016:20") {
+		t.Errorf("breakdown: %q", out)
+	}
+	if YearlyBreakdown("x", nil) != "x: (empty)\n" {
+		t.Error("empty breakdown wrong")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([]string{"a", "b"}, [][]string{
+		{"1", `say "hi", ok`},
+		{"2", "plain"},
+	})
+	want := "a,b\n1,\"say \"\"hi\"\", ok\"\n2,plain\n"
+	if out != want {
+		t.Errorf("csv = %q, want %q", out, want)
+	}
+}

@@ -1,0 +1,208 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SVG rendering of the figure styles used by the paper: bar charts,
+// cumulative time series and heatmaps. Pure stdlib: SVG is plain XML
+// text. The palette is colorblind-safe (Okabe-Ito).
+var svgPalette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#D55E00",
+	"#CC79A7", "#56B4E9", "#F0E442", "#000000",
+}
+
+func svgHeader(w, h int, title string) string {
+	return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">
+<title>%s</title>
+<rect width="%d" height="%d" fill="white"/>
+<text x="12" y="20" font-size="14" font-weight="bold">%s</text>
+`, w, h, w, h, escape(title), w, h, escape(title))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SVGBarChart renders a horizontal bar chart.
+func SVGBarChart(title string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 640
+	}
+	const rowH, top, labelW = 22, 36, 180
+	height := top + rowH*len(bars) + 16
+	maxVal := 0.0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(svgHeader(width, height, title))
+	plotW := width - labelW - 90
+	for i, b := range bars {
+		y := top + i*rowH
+		barW := 0
+		if maxVal > 0 {
+			barW = int(b.Value / maxVal * float64(plotW))
+		}
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" text-anchor="end">%s</text>`+"\n",
+			labelW-6, y+14, escape(b.Label))
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+			labelW, y+3, barW, rowH-8, svgPalette[0])
+		note := fmt.Sprintf("%.6g", b.Value)
+		if b.Note != "" {
+			note += " " + b.Note
+		}
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="10">%s</text>`+"\n",
+			labelW+barW+4, y+14, escape(note))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// SVGSeries renders named cumulative time series as step lines.
+func SVGSeries(title string, series map[string][]Point, width, height int) string {
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 360
+	}
+	const left, right, top, bottom = 56, 160, 36, 36
+	plotW, plotH := width-left-right, height-top-bottom
+
+	names := make([]string, 0, len(series))
+	for n := range series {
+		if len(series[n]) > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var minT, maxT time.Time
+	maxV := 0
+	first := true
+	for _, n := range names {
+		for _, p := range series[n] {
+			if first || p.Date.Before(minT) {
+				minT = p.Date
+			}
+			if first || p.Date.After(maxT) {
+				maxT = p.Date
+			}
+			if p.Value > maxV {
+				maxV = p.Value
+			}
+			first = false
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(svgHeader(width, height, title))
+	if first || maxV == 0 || !maxT.After(minT) {
+		sb.WriteString("</svg>\n")
+		return sb.String()
+	}
+	span := maxT.Sub(minT).Seconds()
+	xOf := func(t time.Time) float64 {
+		return float64(left) + t.Sub(minT).Seconds()/span*float64(plotW)
+	}
+	yOf := func(v int) float64 {
+		return float64(top+plotH) - float64(v)/float64(maxV)*float64(plotH)
+	}
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, top+plotH, left+plotW, top+plotH)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, top, left, top+plotH)
+	// Year ticks.
+	for y := minT.Year(); y <= maxT.Year(); y++ {
+		t := time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC)
+		if t.Before(minT) || t.After(maxT) {
+			continue
+		}
+		x := xOf(t)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ccc"/>`+"\n",
+			x, top, x, top+plotH)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="9" text-anchor="middle">%d</text>`+"\n",
+			x, top+plotH+14, y)
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="9" text-anchor="end">%d</text>`+"\n",
+		left-4, top+8, maxV)
+
+	for i, n := range names {
+		color := svgPalette[i%len(svgPalette)]
+		pts := series[n]
+		var path strings.Builder
+		prevY := yOf(0)
+		for j, p := range pts {
+			x, y := xOf(p.Date), yOf(p.Value)
+			if j == 0 {
+				fmt.Fprintf(&path, "M%.1f,%.1f", x, prevY)
+			}
+			fmt.Fprintf(&path, " L%.1f,%.1f L%.1f,%.1f", x, prevY, x, y)
+			prevY = y
+		}
+		fmt.Fprintf(&sb, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			path.String(), color)
+		// Legend.
+		ly := top + 14*i
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			left+plotW+10, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="9">%s</text>`+"\n",
+			left+plotW+24, ly+9, escape(n))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// SVGHeatmap renders a matrix heatmap with labels.
+func SVGHeatmap(title string, labels []string, matrix [][]int, cell int) string {
+	if cell <= 0 {
+		cell = 18
+	}
+	const left, top = 120, 48
+	n := len(matrix)
+	width := left + n*cell + 60
+	height := top + n*cell + 24
+	maxVal := 0
+	for _, row := range matrix {
+		for _, v := range row {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(svgHeader(width, height, title))
+	for i, row := range matrix {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="9" text-anchor="end">%s</text>`+"\n",
+			left-4, top+i*cell+cell/2+3, escape(label))
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="9" text-anchor="middle">%d</text>`+"\n",
+			left+i*cell+cell/2, top-6, i)
+		for j, v := range row {
+			intensity := 0.0
+			if maxVal > 0 {
+				intensity = float64(v) / float64(maxVal)
+			}
+			// White -> blue ramp.
+			r := int(255 - intensity*(255-0x00))
+			g := int(255 - intensity*(255-0x72))
+			b := int(255 - intensity*(255-0xB2))
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)" stroke="#eee"/>`+"\n",
+				left+j*cell, top+i*cell, cell, cell, r, g, b)
+		}
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="9">max=%d</text>`+"\n",
+		left, top+n*cell+14, maxVal)
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

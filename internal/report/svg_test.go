@@ -1,0 +1,66 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSVGBarChart(t *testing.T) {
+	out := SVGBarChart("Figure X", []Bar{
+		{Label: "a", Value: 10, Note: "(x)"},
+		{Label: "b & c", Value: 5},
+	}, 0)
+	for _, want := range []string{"<svg", "</svg>", "Figure X", "b &amp; c", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in SVG", want)
+		}
+	}
+	if strings.Count(out, "<rect") < 3 { // background + 2 bars
+		t.Error("missing bar rects")
+	}
+}
+
+func TestSVGSeries(t *testing.T) {
+	d := func(y, m int) time.Time { return time.Date(y, time.Month(m), 1, 0, 0, 0, 0, time.UTC) }
+	out := SVGSeries("Cumulative", map[string][]Point{
+		"intel-06": {{d(2015, 9), 1}, {d(2016, 3), 40}, {d(2018, 1), 120}},
+		"amd-17h":  {{d(2017, 5), 2}, {d(2019, 1), 30}},
+	}, 0, 0)
+	for _, want := range []string{"<svg", "<path", "intel-06", "amd-17h", "2016"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in SVG series", want)
+		}
+	}
+	// Degenerate input renders an empty but valid SVG.
+	empty := SVGSeries("empty", map[string][]Point{}, 100, 100)
+	if !strings.Contains(empty, "</svg>") {
+		t.Error("empty series SVG invalid")
+	}
+	single := SVGSeries("one", map[string][]Point{"x": {{d(2015, 1), 5}}}, 100, 100)
+	if !strings.Contains(single, "</svg>") {
+		t.Error("single-point series SVG invalid")
+	}
+}
+
+func TestSVGHeatmap(t *testing.T) {
+	out := SVGHeatmap("Heredity", []string{"1 (D)", "1 (M)"}, [][]int{{10, 4}, {4, 12}}, 0)
+	for _, want := range []string{"<svg", "1 (D)", "max=12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in SVG heatmap", want)
+		}
+	}
+	if strings.Count(out, "<rect") < 5 { // background + 4 cells
+		t.Error("missing heatmap cells")
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	out := SVGBarChart(`<&"`, []Bar{{Label: "<x>", Value: 1}}, 100)
+	if strings.Contains(out, "<&\"</title>") || strings.Contains(out, "><x><") {
+		t.Error("unescaped content in SVG")
+	}
+	if !strings.Contains(out, "&lt;x&gt;") {
+		t.Error("label not escaped")
+	}
+}

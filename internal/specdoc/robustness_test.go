@@ -1,0 +1,117 @@
+package specdoc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserRobustness mutates a rendered document in many random ways
+// and asserts that the parser never panics and, where it succeeds,
+// returns a structurally sane document. This models the noise of real
+// PDF extraction beyond the calibrated error injection.
+func TestParserRobustness(t *testing.T) {
+	base := Write(sampleDoc(), WriteOptions{})
+	lines := strings.Split(base, "\n")
+	rng := rand.New(rand.NewSource(42))
+
+	mutations := []func([]string) []string{
+		// Drop a random line.
+		func(ls []string) []string {
+			if len(ls) < 2 {
+				return ls
+			}
+			i := rng.Intn(len(ls))
+			return append(append([]string{}, ls[:i]...), ls[i+1:]...)
+		},
+		// Duplicate a random line.
+		func(ls []string) []string {
+			i := rng.Intn(len(ls))
+			out := append([]string{}, ls[:i]...)
+			out = append(out, ls[i], ls[i])
+			return append(out, ls[i+1:]...)
+		},
+		// Swap two adjacent lines.
+		func(ls []string) []string {
+			if len(ls) < 2 {
+				return ls
+			}
+			i := rng.Intn(len(ls) - 1)
+			out := append([]string{}, ls...)
+			out[i], out[i+1] = out[i+1], out[i]
+			return out
+		},
+		// Truncate the document.
+		func(ls []string) []string {
+			return ls[:rng.Intn(len(ls))+1]
+		},
+		// Corrupt random bytes of a line.
+		func(ls []string) []string {
+			out := append([]string{}, ls...)
+			i := rng.Intn(len(out))
+			if out[i] == "" {
+				return out
+			}
+			b := []byte(out[i])
+			b[rng.Intn(len(b))] = byte('!' + rng.Intn(90))
+			out[i] = string(b)
+			return out
+		},
+		// Inject garbage lines.
+		func(ls []string) []string {
+			i := rng.Intn(len(ls))
+			out := append([]string{}, ls[:i]...)
+			out = append(out, "~~~ GARBAGE ~~~", ":::")
+			return append(out, ls[i:]...)
+		},
+	}
+
+	for trial := 0; trial < 500; trial++ {
+		mutated := append([]string{}, lines...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			mutated = mutations[rng.Intn(len(mutations))](mutated)
+		}
+		text := strings.Join(mutated, "\n")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on mutated input: %v\n--- input ---\n%s", r, text)
+				}
+			}()
+			doc, _, err := Parse(text)
+			if err != nil {
+				return // rejecting is fine
+			}
+			// A successfully parsed document must stay structurally sane.
+			if doc.Key == "" {
+				t.Fatalf("parsed document without key")
+			}
+			for _, e := range doc.Errata {
+				if e.DocKey != doc.Key {
+					t.Fatalf("erratum with foreign DocKey after mutation")
+				}
+				if e.Seq <= 0 {
+					t.Fatalf("erratum with non-positive Seq")
+				}
+			}
+			for i := 1; i < len(doc.Errata); i++ {
+				if doc.Errata[i].Seq != doc.Errata[i-1].Seq+1 {
+					t.Fatalf("non-sequential Seq after mutation")
+				}
+			}
+		}()
+	}
+}
+
+// TestParserIgnoresTrailingJunk checks the parser handles content after
+// END OF DOCUMENT gracefully.
+func TestParserIgnoresTrailingJunk(t *testing.T) {
+	text := Write(sampleDoc(), WriteOptions{}) + "\nrandom trailing noise\nmore noise\n"
+	doc, _, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Errata) != 3 {
+		t.Errorf("errata = %d", len(doc.Errata))
+	}
+}

@@ -1,0 +1,37 @@
+package taxonomy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders the scheme's classes and abstract categories of one
+// kind as a Markdown table in the layout of the paper's Tables IV-VI.
+// With a negative kind it renders all three tables.
+func (s *Scheme) Markdown(k Kind) string {
+	var b strings.Builder
+	kinds := []Kind{k}
+	if k < 0 {
+		kinds = Kinds
+	}
+	for _, kind := range kinds {
+		fmt.Fprintf(&b, "## %s classification\n\n", titleWord(kind.Name()))
+		b.WriteString("| Descriptor | Description |\n|---|---|\n")
+		for _, cl := range s.Classes(kind) {
+			fmt.Fprintf(&b, "| **%s** | *%s* |\n", cl.ID, cl.Description)
+			for _, catID := range s.CategoriesOf(cl.ID) {
+				cat, _ := s.Category(catID)
+				fmt.Fprintf(&b, "| &nbsp;&nbsp;`_%s` | %s |\n", cat.Suffix, cat.Description)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func titleWord(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

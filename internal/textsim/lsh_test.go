@@ -1,0 +1,148 @@
+package textsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinHashSignature(t *testing.T) {
+	m := NewMinHasher(128)
+	a := m.Signature("processor may hang during power state transition")
+	b := m.Signature("processor may hang during power state transition")
+	if SignatureSimilarity(a, b) != 1 {
+		t.Error("identical texts must have identical signatures")
+	}
+	c := m.Signature("usb controller drops packets entirely")
+	if s := SignatureSimilarity(a, c); s > 0.2 {
+		t.Errorf("unrelated signature similarity = %v", s)
+	}
+	if m.SignatureLen() != 128 {
+		t.Errorf("signature length = %d", m.SignatureLen())
+	}
+	// Default length.
+	if NewMinHasher(0).SignatureLen() != 64 {
+		t.Error("default signature length wrong")
+	}
+	if SignatureSimilarity(a, a[:10]) != 0 {
+		t.Error("mismatched lengths should give 0")
+	}
+}
+
+// Property: the MinHash estimate approximates exact Jaccard within a
+// generous tolerance at 256 permutations.
+func TestPropertyMinHashApproximatesJaccard(t *testing.T) {
+	m := NewMinHasher(256)
+	f := func(seedA, seedB uint8) bool {
+		// Construct overlapping token sets deterministically.
+		a, b := "", ""
+		for i := 0; i < 12; i++ {
+			tok := fmt.Sprintf("tok%d", i)
+			if i < int(seedA%13) {
+				a += " " + tok
+			}
+			if i >= int(seedB%7) {
+				b += " " + tok
+			}
+		}
+		if Tokens(a) == nil || Tokens(b) == nil {
+			return true
+		}
+		exact := Jaccard(a, b)
+		est := SignatureSimilarity(m.Signature(a), m.Signature(b))
+		return math.Abs(exact-est) < 0.2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLSHIndexFindsNearDuplicates(t *testing.T) {
+	idx := NewLSHIndex(16, 4)
+	titles := []string{
+		"Processor May Hang During Power State Transitions",          // 0
+		"Processor Might Hang During Power State Transitions",        // 1: near-dup of 0
+		"Performance Counters May Report Incorrect Values",           // 2
+		"Performance Counters May Report Incorrect Values Sometimes", // 3: near-dup of 2
+		"USB Controller Drops Packets",                               // 4
+		"Memory Training May Fail With Mixed Rank Configurations",    // 5
+	}
+	for _, title := range titles {
+		idx.Add(title)
+	}
+	if idx.Len() != len(titles) {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	pairs := idx.CandidatePairs(0.6)
+	found := map[[2]int]bool{}
+	for _, p := range pairs {
+		found[[2]int{p.I, p.J}] = true
+	}
+	if !found[[2]int{0, 1}] {
+		t.Error("missed near-duplicate pair (0,1)")
+	}
+	if !found[[2]int{2, 3}] {
+		t.Error("missed near-duplicate pair (2,3)")
+	}
+	for p := range found {
+		if p == [2]int{0, 1} || p == [2]int{2, 3} {
+			continue
+		}
+		t.Errorf("false candidate pair %v", p)
+	}
+	// Sorted by decreasing score.
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Score > pairs[i-1].Score {
+			t.Error("pairs not sorted")
+		}
+	}
+}
+
+// TestLSHRecallAgainstExact measures recall of the LSH index against
+// the exact O(n^2) scan on a synthetic population with planted
+// near-duplicates.
+func TestLSHRecallAgainstExact(t *testing.T) {
+	var texts []string
+	for i := 0; i < 300; i++ {
+		texts = append(texts, fmt.Sprintf(
+			"erratum number %d affecting subsystem %d with effect class %d observed rarely",
+			i, i%17, i%5))
+	}
+	// Plant 40 near-duplicates (one-word variants).
+	for i := 0; i < 40; i++ {
+		texts = append(texts, fmt.Sprintf(
+			"erratum number %d affecting subsystem %d with effect kind %d observed rarely",
+			i, i%17, i%5))
+	}
+	const minSim = 0.7
+
+	// Exact pairs.
+	exact := map[[2]int]bool{}
+	for i := range texts {
+		for j := i + 1; j < len(texts); j++ {
+			if Jaccard(texts[i], texts[j]) >= minSim {
+				exact[[2]int{i, j}] = true
+			}
+		}
+	}
+	if len(exact) < 40 {
+		t.Fatalf("planted pairs not found by exact scan: %d", len(exact))
+	}
+
+	idx := NewLSHIndex(16, 4)
+	for _, s := range texts {
+		idx.Add(s)
+	}
+	got := map[[2]int]bool{}
+	for _, p := range idx.CandidatePairs(minSim) {
+		got[[2]int{p.I, p.J}] = true
+		if !exact[[2]int{p.I, p.J}] {
+			t.Errorf("LSH produced a pair below the threshold: %v", p)
+		}
+	}
+	recall := float64(len(got)) / float64(len(exact))
+	if recall < 0.95 {
+		t.Errorf("LSH recall = %.2f, want >= 0.95", recall)
+	}
+}

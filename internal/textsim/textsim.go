@@ -1,0 +1,321 @@
+// Package textsim provides the text primitives RemembERR's duplicate
+// detection relies on: title normalization, tokenization, and several
+// string-similarity metrics (Jaccard, Sørensen-Dice, Levenshtein,
+// TF-IDF cosine, n-gram shingles).
+//
+// The paper detects Intel cross-generation duplicates by (nearly)
+// identical titles, then manually reviews remaining candidates sorted by
+// decreasing title similarity. These metrics implement that ranking.
+package textsim
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Normalize lower-cases s, strips punctuation, and collapses whitespace,
+// so that titles differing only in minor phrasing normalize identically.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	prevSpace := true
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+			prevSpace = false
+		default:
+			if !prevSpace {
+				b.WriteByte(' ')
+				prevSpace = true
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Tokens splits s into normalized word tokens.
+func Tokens(s string) []string {
+	n := Normalize(s)
+	if n == "" {
+		return nil
+	}
+	return strings.Fields(n)
+}
+
+// tokenSet returns the set of distinct tokens of s.
+func tokenSet(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, t := range Tokens(s) {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+// Jaccard returns the Jaccard similarity of the token sets of a and b
+// in [0,1]. Two empty strings are considered identical (1).
+func Jaccard(a, b string) float64 {
+	sa, sb := tokenSet(a), tokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Dice returns the Sørensen-Dice coefficient of the token sets of a and
+// b in [0,1].
+func Dice(a, b string) float64 {
+	sa, sb := tokenSet(a), tokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	den := len(sa) + len(sb)
+	if den == 0 {
+		return 1
+	}
+	return 2 * float64(inter) / float64(den)
+}
+
+// Levenshtein returns the edit distance between the normalized forms of
+// a and b, counting insertions, deletions and substitutions as 1.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(Normalize(a)), []rune(Normalize(b))
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSimilarity maps the edit distance to a similarity in [0,1]:
+// 1 - dist/maxLen. Two empty strings are identical.
+func LevenshteinSimilarity(a, b string) float64 {
+	na, nb := Normalize(a), Normalize(b)
+	maxLen := len([]rune(na))
+	if l := len([]rune(nb)); l > maxLen {
+		maxLen = l
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(na, nb))/float64(maxLen)
+}
+
+func minInt(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Shingles returns the set of n-grams (as strings of n consecutive
+// tokens joined by a space) of s. For fewer than n tokens, the whole
+// token sequence is the single shingle.
+func Shingles(s string, n int) map[string]struct{} {
+	toks := Tokens(s)
+	out := make(map[string]struct{})
+	if len(toks) == 0 || n <= 0 {
+		return out
+	}
+	if len(toks) < n {
+		out[strings.Join(toks, " ")] = struct{}{}
+		return out
+	}
+	for i := 0; i+n <= len(toks); i++ {
+		out[strings.Join(toks[i:i+n], " ")] = struct{}{}
+	}
+	return out
+}
+
+// ShingleJaccard returns the Jaccard similarity of the n-gram shingle
+// sets of a and b.
+func ShingleJaccard(a, b string, n int) float64 {
+	sa, sb := Shingles(a, n), Shingles(b, n)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Corpus supports TF-IDF cosine similarity over a document collection.
+// Build one with NewCorpus; it is immutable afterwards.
+type Corpus struct {
+	df     map[string]int
+	nDocs  int
+	vecs   []map[string]float64
+	titles []string
+}
+
+// NewCorpus builds a TF-IDF model over the given texts.
+func NewCorpus(texts []string) *Corpus {
+	c := &Corpus{
+		df:     make(map[string]int),
+		nDocs:  len(texts),
+		titles: append([]string(nil), texts...),
+	}
+	tfs := make([]map[string]int, len(texts))
+	for i, t := range texts {
+		tf := make(map[string]int)
+		for _, tok := range Tokens(t) {
+			tf[tok]++
+		}
+		tfs[i] = tf
+		for tok := range tf {
+			c.df[tok]++
+		}
+	}
+	c.vecs = make([]map[string]float64, len(texts))
+	for i, tf := range tfs {
+		vec := make(map[string]float64, len(tf))
+		var norm float64
+		for tok, n := range tf {
+			w := float64(n) * c.idf(tok)
+			vec[tok] = w
+			norm += w * w
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			for tok := range vec {
+				vec[tok] /= norm
+			}
+		}
+		c.vecs[i] = vec
+	}
+	return c
+}
+
+func (c *Corpus) idf(tok string) float64 {
+	df := c.df[tok]
+	if df == 0 {
+		df = 1
+	}
+	return math.Log(float64(c.nDocs+1)/float64(df)) + 1
+}
+
+// Len returns the number of documents in the corpus.
+func (c *Corpus) Len() int { return c.nDocs }
+
+// Cosine returns the TF-IDF cosine similarity between documents i and j.
+func (c *Corpus) Cosine(i, j int) float64 {
+	vi, vj := c.vecs[i], c.vecs[j]
+	if len(vi) > len(vj) {
+		vi, vj = vj, vi
+	}
+	var dot float64
+	for tok, w := range vi {
+		if w2, ok := vj[tok]; ok {
+			dot += w * w2
+		}
+	}
+	if dot > 1 {
+		dot = 1 // guard against rounding
+	}
+	return dot
+}
+
+// Pair is a scored candidate pair of corpus documents.
+type Pair struct {
+	I, J  int
+	Score float64
+}
+
+// RankPairs returns all pairs (i<j) with similarity of at least min,
+// sorted by decreasing score (stable for equal scores by (I,J)). This
+// mirrors the paper's manual review of candidate duplicates "sorted by
+// decreasing title similarity".
+func (c *Corpus) RankPairs(min float64) []Pair {
+	var out []Pair
+	for i := 0; i < c.nDocs; i++ {
+		for j := i + 1; j < c.nDocs; j++ {
+			if s := c.Cosine(i, j); s >= min {
+				out = append(out, Pair{I: i, J: j, Score: s})
+			}
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}
+
+// Metric names a similarity function usable for duplicate ranking; used
+// by the ablation benchmarks.
+type Metric string
+
+// Supported similarity metrics.
+const (
+	MetricJaccard     Metric = "jaccard"
+	MetricDice        Metric = "dice"
+	MetricLevenshtein Metric = "levenshtein"
+	MetricShingle2    Metric = "shingle2"
+)
+
+// Similarity computes the named metric on a pair of strings. Unknown
+// metrics fall back to Jaccard.
+func Similarity(m Metric, a, b string) float64 {
+	switch m {
+	case MetricDice:
+		return Dice(a, b)
+	case MetricLevenshtein:
+		return LevenshteinSimilarity(a, b)
+	case MetricShingle2:
+		return ShingleJaccard(a, b, 2)
+	default:
+		return Jaccard(a, b)
+	}
+}

@@ -1,0 +1,269 @@
+// Package rememberr is a Go reproduction of "RemembERR: Leveraging
+// Microprocessor Errata for Design Testing and Validation" (Solt,
+// Jattke, Razavi; MICRO 2022).
+//
+// It builds the RemembERR database — 2,563 errata across all Intel Core
+// and AMD microprocessor documents since 2008, annotated with
+// conjunctive triggers, and disjunctive contexts and observable effects
+// on three abstraction levels — and reproduces every table and figure
+// of the paper's evaluation.
+//
+// Because the original PDF documents are withdrawn or proprietary, the
+// corpus substrate is synthetic: a deterministic generator emits
+// specification-update documents in a faithful text format, calibrated
+// to the statistics the paper reports, and the full pipeline (parsing,
+// deduplication, regex-assisted classification, simulated four-eyes
+// annotation, disclosure-date inference) genuinely recovers the
+// database from that text. See DESIGN.md for the substitution argument.
+//
+// Quickstart:
+//
+//	db, rep, err := rememberr.Build(rememberr.DefaultBuildOptions())
+//	if err != nil { ... }
+//	fmt.Println(db.Stats())
+//	fmt.Println(rememberr.NewExperiments(db).Figure10().Text)
+package rememberr
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dedup"
+	"repro/internal/specdoc"
+	"repro/internal/taxonomy"
+	"repro/internal/textsim"
+	"repro/internal/timeline"
+)
+
+// Re-exported types so that users of the library can name the values the
+// facade returns without importing internal packages.
+type (
+	// Vendor identifies a microprocessor vendor (Intel or AMD).
+	Vendor = core.Vendor
+	// Erratum is a single annotated erratum entry.
+	Erratum = core.Erratum
+	// Document is a parsed specification-update document.
+	Document = core.Document
+	// Annotation is the trigger/context/effect annotation of an erratum.
+	Annotation = core.Annotation
+	// Item is one annotated property (abstract category + concrete text).
+	Item = core.Item
+	// Kind discriminates triggers, contexts and effects.
+	Kind = taxonomy.Kind
+	// Scheme is the three-level classification scheme.
+	Scheme = taxonomy.Scheme
+	// WorkaroundCategory classifies where a workaround applies.
+	WorkaroundCategory = core.WorkaroundCategory
+	// FixStatus captures whether a bug's root cause was fixed.
+	FixStatus = core.FixStatus
+	// Metric names a title-similarity metric for deduplication.
+	Metric = textsim.Metric
+	// StructuredErratum is the machine-readable format of Table VII.
+	StructuredErratum = core.StructuredErratum
+)
+
+// Re-exported constants.
+const (
+	Intel = core.Intel
+	AMD   = core.AMD
+
+	Trigger = taxonomy.Trigger
+	Context = taxonomy.Context
+	Effect  = taxonomy.Effect
+)
+
+// BaseScheme returns the paper's 60-category classification scheme
+// (Tables IV-VI).
+func BaseScheme() *Scheme { return taxonomy.Base() }
+
+// BuildOptions configures the end-to-end database construction.
+type BuildOptions struct {
+	// Seed drives the corpus generator and the annotator error
+	// processes; the same seed reproduces the same database bit for bit.
+	Seed int64
+	// SimilarityMetric ranks Intel duplicate candidates (default
+	// Jaccard; see the ablation benchmarks for alternatives).
+	SimilarityMetric Metric
+	// SimilarityThreshold is the minimum title similarity for a
+	// candidate pair to be reviewed (default 0.6).
+	SimilarityThreshold float64
+	// UseLSH switches duplicate-candidate generation to the MinHash/LSH
+	// index (near-linear instead of the exact O(n^2) scan).
+	UseLSH bool
+	// Interpolate enables sequential-number disclosure interpolation
+	// (default true, as in the paper).
+	Interpolate bool
+	// AnnotationSteps is the number of four-eyes discussion batches
+	// (default 7, as in the paper).
+	AnnotationSteps int
+}
+
+// DefaultBuildOptions returns the paper-faithful configuration.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{
+		Seed:                1,
+		SimilarityMetric:    textsim.MetricJaccard,
+		SimilarityThreshold: 0.6,
+		Interpolate:         true,
+		AnnotationSteps:     7,
+	}
+}
+
+// BuildReport documents one pipeline run.
+type BuildReport struct {
+	// Diagnostics lists the document inconsistencies ("errata in
+	// errata") the parser surfaced.
+	Diagnostics []specdoc.Diagnostic
+	// Dedup summarizes duplicate detection (unique counts, reviewed
+	// candidate pairs, confirmed pairs).
+	Dedup *dedup.Result
+	// Annotation summarizes the four-eyes protocol (steps, agreement,
+	// decision volumes).
+	Annotation *annotate.Result
+	// Timeline summarizes disclosure-date inference.
+	Timeline timeline.Stats
+	// GroundTruth is the generator's hidden truth; it backs the manual
+	// review and annotation oracles and lets callers validate recovery.
+	GroundTruth *corpus.GroundTruth
+}
+
+// Database is the built RemembERR database.
+type Database struct {
+	core   *core.Database
+	report *BuildReport
+}
+
+// Build runs the full pipeline: corpus generation, document rendering,
+// parsing, deduplication, classification plus simulated four-eyes
+// annotation, and disclosure-date inference.
+func Build(opts BuildOptions) (*Database, *BuildReport, error) {
+	if opts.SimilarityMetric == "" {
+		opts.SimilarityMetric = textsim.MetricJaccard
+	}
+	if opts.SimilarityThreshold == 0 {
+		opts.SimilarityThreshold = 0.6
+	}
+	if opts.AnnotationSteps == 0 {
+		opts.AnnotationSteps = 7
+	}
+
+	// 1. Acquire: generate the corpus and render the documents.
+	gt, err := corpus.Generate(opts.Seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rememberr: corpus generation: %w", err)
+	}
+	dup := make(map[string]string)
+	for _, fe := range gt.Inventory.FieldErrors {
+		if fe.Kind == "duplicate" {
+			field := fe.Field
+			if field == "Description" {
+				field = "Problem"
+			}
+			dup[fe.Ref] = field
+		}
+	}
+	texts := specdoc.WriteAll(gt.DB, specdoc.WriteOptions{DuplicateFields: dup})
+
+	// 2. Parse.
+	db, diags, err := specdoc.ParseAll(texts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rememberr: parse: %w", err)
+	}
+
+	rep := &BuildReport{Diagnostics: diags, GroundTruth: gt}
+
+	// 3. Deduplicate. The manual-review oracle is backed by the ground
+	// truth, standing in for the paper's extensive manual inspection.
+	truthKey := make(map[string]string)
+	for _, e := range gt.DB.Errata() {
+		truthKey[corpus.EntryRef(e)] = e.Key
+	}
+	oracle := func(a, b *core.Erratum) bool {
+		ka, kb := truthKey[corpus.EntryRef(a)], truthKey[corpus.EntryRef(b)]
+		return ka != "" && ka == kb
+	}
+	dres, err := dedup.Deduplicate(db, dedup.Options{
+		Metric:    opts.SimilarityMetric,
+		Threshold: opts.SimilarityThreshold,
+		Oracle:    oracle,
+		UseLSH:    opts.UseLSH,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("rememberr: dedup: %w", err)
+	}
+	rep.Dedup = dres
+
+	// 4. Classify and annotate (regex filter + simulated four eyes).
+	truthAnn := make(map[string]*core.Annotation)
+	for _, e := range gt.DB.Errata() {
+		ann := e.Ann
+		truthAnn[corpus.EntryRef(e)] = &ann
+	}
+	truth := func(e *core.Erratum) *core.Annotation {
+		return truthAnn[corpus.EntryRef(e)]
+	}
+	aopts := annotate.DefaultOptions()
+	aopts.Seed = opts.Seed
+	aopts.Steps = opts.AnnotationSteps
+	if opts.AnnotationSteps != 7 {
+		aopts.StepFractions = uniformFractions(opts.AnnotationSteps)
+	}
+	ares, err := annotate.Run(db, classify.NewEngine(), truth, aopts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rememberr: annotate: %w", err)
+	}
+	rep.Annotation = ares
+
+	// 5. Infer disclosure dates.
+	rep.Timeline = timeline.InferDisclosures(db, timeline.Options{Interpolate: opts.Interpolate})
+
+	if err := db.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("rememberr: validation: %w", err)
+	}
+	return &Database{core: db, report: rep}, rep, nil
+}
+
+func uniformFractions(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1 / float64(n)
+	}
+	return out
+}
+
+// Core exposes the underlying database for advanced use.
+func (db *Database) Core() *core.Database { return db.core }
+
+// Report returns the build report, or nil for loaded databases.
+func (db *Database) Report() *BuildReport { return db.report }
+
+// Scheme returns the classification scheme in force.
+func (db *Database) Scheme() *Scheme { return db.core.Scheme }
+
+// Stats summarizes corpus-level counts.
+type Stats = core.Stats
+
+// Stats recomputes corpus statistics.
+func (db *Database) Stats() Stats { return db.core.ComputeStats() }
+
+// Documents returns all documents in vendor/order sequence.
+func (db *Database) Documents() []*Document { return db.core.Documents() }
+
+// Errata returns every entry, duplicates counted individually.
+func (db *Database) Errata() []*Erratum { return db.core.Errata() }
+
+// Unique returns one representative entry per deduplicated erratum.
+func (db *Database) Unique() []*Erratum { return db.core.Unique() }
+
+// UniqueVendor returns the unique errata of one vendor.
+func (db *Database) UniqueVendor(v Vendor) []*Erratum { return db.core.UniqueVendor(v) }
+
+// Document returns one document by key, or nil.
+func (db *Database) Document(key string) *Document { return db.core.Docs[key] }
+
+// FromCore wraps an existing core database (e.g. one loaded from JSON)
+// in the facade.
+func FromCore(c *core.Database) *Database { return &Database{core: c} }

@@ -1,0 +1,92 @@
+package rememberr
+
+import (
+	"fmt"
+	"html"
+	"strings"
+)
+
+// HTMLReport renders the complete reproduction — corpus statistics,
+// every experiment with its checks and figure, the extension
+// experiments, and the thirteen observations — as one self-contained
+// HTML page (SVG figures inline, no external assets). This mirrors the
+// paper artifact's workflow, which writes "figures in the directory
+// specified in Readme" plus numbers on stdout, collapsed into a single
+// reviewable document.
+func HTMLReport(db *Database) string {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>RemembERR reproduction report</title>
+<style>
+body { font-family: sans-serif; max-width: 1000px; margin: 24px auto; padding: 0 16px; color: #1a1a1a; }
+h1 { border-bottom: 2px solid #0072B2; padding-bottom: 6px; }
+h2 { margin-top: 40px; border-bottom: 1px solid #ccc; padding-bottom: 4px; }
+pre { background: #f6f6f6; padding: 10px; overflow-x: auto; font-size: 12px; line-height: 1.35; }
+.claim { color: #555; font-style: italic; margin: 4px 0 12px; }
+.pass { color: #007a3d; } .fail { color: #c0392b; font-weight: bold; }
+ul.checks { list-style: none; padding-left: 0; }
+ul.checks li { margin: 2px 0; }
+table { border-collapse: collapse; } td, th { border: 1px solid #ddd; padding: 4px 8px; font-size: 13px; }
+figure { margin: 12px 0; }
+</style></head><body>
+`)
+	b.WriteString("<h1>RemembERR — reproduction report</h1>\n")
+	b.WriteString(`<p>Go reproduction of <em>RemembERR: Leveraging Microprocessor
+Errata for Design Testing and Validation</em> (Solt, Jattke, Razavi; MICRO 2022).</p>
+`)
+
+	// Corpus statistics.
+	st := db.Stats()
+	b.WriteString("<h2>Corpus</h2>\n<table><tr><th></th><th>Total</th><th>Unique</th><th>Documents</th></tr>\n")
+	fmt.Fprintf(&b, "<tr><td>Intel</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+		st.IntelTotal, st.IntelUnique, st.IntelDocs)
+	fmt.Fprintf(&b, "<tr><td>AMD</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+		st.AMDTotal, st.AMDUnique, st.AMDDocs)
+	fmt.Fprintf(&b, "<tr><td>All</td><td>%d</td><td>%d</td><td>%d</td></tr>\n</table>\n",
+		st.Total, st.Unique, st.Documents)
+
+	// Observations.
+	b.WriteString("<h2>Observations O1–O13</h2>\n<ul class=\"checks\">\n")
+	for _, o := range db.Observations() {
+		cls, mark := "pass", "HOLDS"
+		if !o.Holds {
+			cls, mark = "fail", "FAILS"
+		}
+		fmt.Fprintf(&b, `<li><span class="%s">[%s]</span> <b>%s</b> %s<br><small>%s</small></li>`+"\n",
+			cls, mark, o.ID, html.EscapeString(o.Statement), html.EscapeString(o.Evidence))
+	}
+	b.WriteString("</ul>\n")
+
+	// Experiments.
+	x := NewExperiments(db)
+	writeExperiments := func(title string, exps []*Experiment) {
+		fmt.Fprintf(&b, "<h2>%s</h2>\n", html.EscapeString(title))
+		for _, ex := range exps {
+			fmt.Fprintf(&b, "<h3 id=\"%s\">%s — %s</h3>\n",
+				html.EscapeString(ex.ID), html.EscapeString(ex.ID), html.EscapeString(ex.Title))
+			fmt.Fprintf(&b, "<p class=\"claim\">Paper: %s</p>\n", html.EscapeString(ex.PaperClaim))
+			if ex.SVG != "" {
+				b.WriteString("<figure>\n" + ex.SVG + "</figure>\n")
+			}
+			if ex.Text != "" {
+				fmt.Fprintf(&b, "<pre>%s</pre>\n", html.EscapeString(ex.Text))
+			}
+			b.WriteString("<ul class=\"checks\">\n")
+			for _, c := range ex.Checks {
+				cls, mark := "pass", "PASS"
+				if !c.Pass {
+					cls, mark = "fail", "FAIL"
+				}
+				fmt.Fprintf(&b, `<li><span class="%s">[%s]</span> %s — %s</li>`+"\n",
+					cls, mark, html.EscapeString(c.Name), html.EscapeString(c.Detail))
+			}
+			b.WriteString("</ul>\n")
+		}
+	}
+	writeExperiments("Paper experiments", x.All())
+	writeExperiments("Extensions", x.Extensions())
+
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
