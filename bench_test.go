@@ -12,6 +12,8 @@ package rememberr
 // of building the database itself.
 
 import (
+	"runtime"
+	"strconv"
 	"testing"
 
 	"repro/internal/annotate"
@@ -225,6 +227,104 @@ func BenchmarkPipelineDedup(b *testing.B) {
 		if res.UniqueIntel != corpus.TargetIntelUnique {
 			b.Fatalf("unique = %d", res.UniqueIntel)
 		}
+	}
+}
+
+// benchWorkerCounts returns the worker counts exercised by the
+// parallel pipeline benchmarks: sequential, and the machine's full
+// GOMAXPROCS when that differs.
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkPipelineRenderParallel measures document rendering across
+// worker counts.
+func BenchmarkPipelineRenderParallel(b *testing.B) {
+	gt, err := corpus.Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run("workers-"+strconv.Itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				specdoc.WriteAllParallel(gt.DB, specdoc.WriteOptions{}, w)
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineParseParallel measures parsing across worker counts.
+func BenchmarkPipelineParseParallel(b *testing.B) {
+	gt, err := corpus.Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	texts := specdoc.WriteAll(gt.DB, specdoc.WriteOptions{})
+	for _, w := range benchWorkerCounts() {
+		b.Run("workers-"+strconv.Itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := specdoc.ParseAllParallel(texts, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineDedupParallel measures deduplication across worker
+// counts (candidate scoring parallelizes; oracle review stays
+// sequential).
+func BenchmarkPipelineDedupParallel(b *testing.B) {
+	gt, err := corpus.Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	texts := specdoc.WriteAll(gt.DB, specdoc.WriteOptions{})
+	truth := make(map[string]string)
+	for _, e := range gt.DB.Errata() {
+		truth[corpus.EntryRef(e)] = e.Key
+	}
+	oracle := func(x, y *core.Erratum) bool {
+		return truth[corpus.EntryRef(x)] != "" && truth[corpus.EntryRef(x)] == truth[corpus.EntryRef(y)]
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run("workers-"+strconv.Itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db, _, err := specdoc.ParseAll(texts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := dedup.Deduplicate(db, dedup.Options{Oracle: oracle, Parallelism: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.UniqueIntel != corpus.TargetIntelUnique {
+					b.Fatalf("unique = %d", res.UniqueIntel)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineBuildParallel measures the end-to-end build across
+// worker counts.
+func BenchmarkPipelineBuildParallel(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run("workers-"+strconv.Itoa(w), func(b *testing.B) {
+			opts := DefaultBuildOptions()
+			opts.Parallelism = w
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Build(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

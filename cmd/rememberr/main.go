@@ -98,13 +98,15 @@ commands:
   report         write the full reproduction report as one HTML page
   taxonomy       print the 60-category classification scheme (Tables IV-VI)
 
-common flags: -seed N (build seed), -db FILE (load saved JSON instead)
+common flags: -seed N (build seed), -db FILE (load saved JSON instead),
+              -parallelism N (pipeline workers; 0 = all CPUs, 1 = sequential)
 `)
 }
 
 func buildDB(fs *flag.FlagSet, args []string) (*rememberr.Database, error) {
 	seed := fs.Int64("seed", 1, "corpus generator seed")
 	dbFile := fs.String("db", "", "load a saved database JSON instead of building")
+	par := fs.Int("parallelism", 0, "pipeline worker goroutines (0 = all CPUs, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -113,6 +115,7 @@ func buildDB(fs *flag.FlagSet, args []string) (*rememberr.Database, error) {
 	}
 	opts := rememberr.DefaultBuildOptions()
 	opts.Seed = *seed
+	opts.Parallelism = *par
 	db, _, err := rememberr.Build(opts)
 	return db, err
 }
@@ -121,11 +124,13 @@ func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	out := fs.String("o", "rememberr.json", "output file")
 	seed := fs.Int64("seed", 1, "corpus generator seed")
+	par := fs.Int("parallelism", 0, "pipeline worker goroutines (0 = all CPUs, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := rememberr.DefaultBuildOptions()
 	opts.Seed = *seed
+	opts.Parallelism = *par
 	db, rep, err := rememberr.Build(opts)
 	if err != nil {
 		return err

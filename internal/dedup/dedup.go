@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/textsim"
 )
 
@@ -30,8 +31,13 @@ type Options struct {
 	// review candidates. Defaults to Jaccard.
 	Metric textsim.Metric
 	// Threshold is the minimum similarity for a pair to be surfaced for
-	// review. Defaults to 0.6.
+	// review. The zero value selects the default 0.6; use SetThreshold
+	// to request an explicit threshold of 0 ("review every candidate
+	// pair").
 	Threshold float64
+	// thresholdSet distinguishes an explicit Threshold (possibly zero,
+	// via SetThreshold) from the struct's zero value.
+	thresholdSet bool
 	// Oracle answers whether two entries describe the same erratum; it
 	// models the paper's manual inspection of candidate pairs. A nil
 	// oracle skips the manual stage (exact-title clustering only).
@@ -44,6 +50,19 @@ type Options struct {
 	// LSH path always ranks candidates by exact Jaccard similarity, so
 	// only candidate *generation* is approximate.
 	UseLSH bool
+	// Parallelism bounds the worker pool for candidate *scoring* (0 =
+	// GOMAXPROCS, 1 = sequential). Oracle consultation stays sequential
+	// regardless: it mutates DSU state, so review order is load-bearing.
+	// The result is identical at every worker count.
+	Parallelism int
+}
+
+// SetThreshold sets Threshold explicitly. Unlike assigning the field
+// directly, an explicit zero survives normalization and means "surface
+// every candidate pair for review" instead of the default 0.6.
+func (o *Options) SetThreshold(t float64) {
+	o.Threshold = t
+	o.thresholdSet = true
 }
 
 // CandidatePair is a reviewed candidate duplicate pair.
@@ -74,7 +93,7 @@ func Deduplicate(db *core.Database, opts Options) (*Result, error) {
 	if opts.Metric == "" {
 		opts.Metric = textsim.MetricJaccard
 	}
-	if opts.Threshold == 0 {
+	if opts.Threshold == 0 && !opts.thresholdSet {
 		opts.Threshold = 0.6
 	}
 	res := &Result{}
@@ -113,10 +132,8 @@ func dedupIntel(db *core.Database, opts Options, res *Result) error {
 
 	// Stage 1: exact normalized-title clustering.
 	byTitle := make(map[string][]int)
-	norms := make([]string, len(entries))
 	for i, e := range entries {
 		n := textsim.Normalize(e.Title)
-		norms[i] = n
 		byTitle[n] = append(byTitle[n], i)
 	}
 	for _, idxs := range byTitle {
@@ -132,12 +149,16 @@ func dedupIntel(db *core.Database, opts Options, res *Result) error {
 	// representative per cluster suffices, since merged entries share a
 	// title.
 	if opts.Oracle != nil {
+		// Stage 1 merged every pair of entries with equal normalized
+		// titles, so cluster representatives have pairwise-distinct
+		// normalized titles and no identical-title pair can resurface
+		// here.
 		reps := clusterRepresentatives(dsu, len(entries))
 		var cands []candidate
 		if opts.UseLSH {
-			cands = lshCandidates(entries, reps, norms, opts.Threshold)
+			cands = lshCandidates(entries, reps, opts.Threshold)
 		} else {
-			cands = exactCandidates(entries, reps, norms, opts.Metric, opts.Threshold)
+			cands = exactCandidates(entries, reps, opts.Metric, opts.Threshold, opts.Parallelism)
 		}
 		for _, c := range cands {
 			if opts.MaxReviews > 0 && len(res.Reviewed) >= opts.MaxReviews {
@@ -181,39 +202,39 @@ func sortCandidates(cands []candidate) {
 	})
 }
 
-// exactCandidates scans all representative pairs (O(n^2)).
-func exactCandidates(entries []*core.Erratum, reps []int, norms []string, metric textsim.Metric, threshold float64) []candidate {
-	var cands []candidate
-	for a := 0; a < len(reps); a++ {
+// exactCandidates scans all representative pairs (O(n^2)), sharded by
+// row across the worker pool. Per-row matches are merged in row order,
+// so the pre-sort candidate sequence — and with sortCandidates' total
+// (score, i, j) ordering, the final ranking — is identical to the
+// sequential scan at every worker count.
+func exactCandidates(entries []*core.Erratum, reps []int, metric textsim.Metric, threshold float64, workers int) []candidate {
+	cands := parallel.Gather(len(reps), workers, func(a int) []candidate {
+		var row []candidate
+		i := reps[a]
 		for b := a + 1; b < len(reps); b++ {
-			i, j := reps[a], reps[b]
-			if norms[i] == norms[j] {
-				continue
-			}
+			j := reps[b]
 			s := textsim.Similarity(metric, entries[i].Title, entries[j].Title)
 			if s >= threshold {
-				cands = append(cands, candidate{i: i, j: j, score: s})
+				row = append(row, candidate{i: i, j: j, score: s})
 			}
 		}
-	}
+		return row
+	})
 	sortCandidates(cands)
 	return cands
 }
 
 // lshCandidates generates candidates through a MinHash/LSH index and
-// scores colliding pairs exactly.
-func lshCandidates(entries []*core.Erratum, reps []int, norms []string, threshold float64) []candidate {
+// scores colliding pairs exactly. Candidate generation is already
+// near-linear, so it stays sequential.
+func lshCandidates(entries []*core.Erratum, reps []int, threshold float64) []candidate {
 	idx := textsim.NewLSHIndex(16, 4)
 	for _, i := range reps {
 		idx.Add(entries[i].Title)
 	}
 	var cands []candidate
 	for _, p := range idx.CandidatePairs(threshold) {
-		i, j := reps[p.I], reps[p.J]
-		if norms[i] == norms[j] {
-			continue
-		}
-		cands = append(cands, candidate{i: i, j: j, score: p.Score})
+		cands = append(cands, candidate{i: reps[p.I], j: reps[p.J], score: p.Score})
 	}
 	sortCandidates(cands)
 	return cands

@@ -262,6 +262,44 @@ func TestSimilarityMetricsOptions(t *testing.T) {
 	_ = db
 }
 
+// TestExplicitZeroThreshold is the regression test for the zero-value
+// option footgun: a caller explicitly asking for threshold 0 must get
+// every candidate pair reviewed, not the silent 0.6 default.
+func TestExplicitZeroThreshold(t *testing.T) {
+	db := buildSmallDB(t)
+	calls := 0
+	oracle := func(a, b *core.Erratum) bool { calls++; return false }
+	opts := Options{Oracle: oracle}
+	opts.SetThreshold(0)
+	res, err := Deduplicate(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 1 merges the exact-title pair, leaving 4 Intel
+	// representatives; threshold 0 must surface all C(4,2) = 6 pairs.
+	if len(res.Reviewed) != 6 || calls != 6 {
+		t.Errorf("reviews = %d, oracle calls = %d, want 6 each (every candidate pair)", len(res.Reviewed), calls)
+	}
+
+	// The plain zero value must keep selecting the 0.6 default: the
+	// disjoint-title pairs fall below it and only the near-duplicate
+	// Counter pair is surfaced.
+	db2 := buildSmallDB(t)
+	calls = 0
+	res2, err := Deduplicate(db2, Options{Oracle: oracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Reviewed) >= 6 {
+		t.Errorf("zero-value Threshold reviewed %d pairs; default 0.6 no longer applied", len(res2.Reviewed))
+	}
+	for _, p := range res2.Reviewed {
+		if p.Score < 0.6 {
+			t.Errorf("zero-value Threshold surfaced pair below default threshold: %v", p.Score)
+		}
+	}
+}
+
 func TestMaxReviews(t *testing.T) {
 	db := buildSmallDB(t)
 	calls := 0
@@ -272,6 +310,96 @@ func TestMaxReviews(t *testing.T) {
 	}
 	if len(res.Reviewed) != 1 || calls != 1 {
 		t.Errorf("reviews = %d, oracle calls = %d, want 1 each", len(res.Reviewed), calls)
+	}
+}
+
+// TestMaxReviewsSkipsDontCount pins two properties of the stage-2
+// review loop: MaxReviews caps *oracle consultations*, and pairs
+// skipped because they were already merged transitively do not consume
+// the cap.
+//
+// Four entries with pairwise-equal similarity score review in index
+// order: (A,B), (A,C), (A,D), (B,C), (B,D), (C,D). The oracle confirms
+// (A,B) and (A,C), which merges {A,B,C}; (B,C) is then skipped
+// transitively without consulting the oracle. With MaxReviews = 4 the
+// loop must still reach (B,D) — the skip is free — for exactly 4
+// consultations.
+func TestMaxReviewsSkipsDontCount(t *testing.T) {
+	db := core.NewDatabase()
+	// Eight shared tokens plus one unique token per title: every pair
+	// has Jaccard 8/10 = 0.8 and a distinct normalized title.
+	common := "alpha beta gamma delta epsilon zeta eta theta"
+	doc := &core.Document{
+		Key: "intel-01d", Vendor: core.Intel, Label: "1 (D)", Order: 0, GenIndex: 1,
+		Errata: []*core.Erratum{
+			{DocKey: "intel-01d", ID: "AAJ001", Seq: 1, Title: common + " one"},
+			{DocKey: "intel-01d", ID: "AAJ002", Seq: 2, Title: common + " two"},
+			{DocKey: "intel-01d", ID: "AAJ003", Seq: 3, Title: common + " three"},
+			{DocKey: "intel-01d", ID: "AAJ004", Seq: 4, Title: common + " four"},
+		},
+	}
+	if err := db.Add(doc); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	oracle := func(a, b *core.Erratum) bool {
+		calls++
+		pair := a.ID + "/" + b.ID
+		return pair == "AAJ001/AAJ002" || pair == "AAJ001/AAJ003"
+	}
+	res, err := Deduplicate(db, Options{Oracle: oracle, Threshold: 0.7, MaxReviews: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 || len(res.Reviewed) != 4 {
+		t.Fatalf("oracle calls = %d, reviews = %d, want 4 each", calls, len(res.Reviewed))
+	}
+	last := res.Reviewed[3]
+	if last.A.ID != "AAJ002" || last.B.ID != "AAJ004" {
+		t.Errorf("4th review = (%s,%s), want (AAJ002,AAJ004): the transitive skip of (AAJ002,AAJ003) must not consume the cap",
+			last.A.ID, last.B.ID)
+	}
+	if res.ConfirmedPairs != 2 {
+		t.Errorf("confirmed = %d, want 2", res.ConfirmedPairs)
+	}
+}
+
+// TestRepresentativesHaveDistinctNorms documents why the candidate
+// generators need no identical-normalized-title guard: stage 1 unions
+// every pair of entries with equal normalized titles, so the cluster
+// representatives fed to stage 2 always carry pairwise-distinct
+// normalized titles.
+func TestRepresentativesHaveDistinctNorms(t *testing.T) {
+	titles := []string{
+		"Processor May Hang",
+		"processor MAY hang!!", // same normalized title as 0
+		"Counter Reports Wrong Values",
+		"counter reports wrong values.", // same normalized title as 2
+		"USB Controller Drops Packets",
+	}
+	dsu := NewDSU(len(titles))
+	byTitle := make(map[string][]int)
+	norms := make([]string, len(titles))
+	for i, title := range titles {
+		n := textsim.Normalize(title)
+		norms[i] = n
+		byTitle[n] = append(byTitle[n], i)
+	}
+	for _, idxs := range byTitle {
+		for i := 1; i < len(idxs); i++ {
+			dsu.Union(idxs[0], idxs[i])
+		}
+	}
+	reps := clusterRepresentatives(dsu, len(titles))
+	if len(reps) != 3 {
+		t.Fatalf("representatives = %d, want 3", len(reps))
+	}
+	seen := make(map[string]int)
+	for _, r := range reps {
+		if prev, dup := seen[norms[r]]; dup {
+			t.Errorf("representatives %d and %d share normalized title %q", prev, r, norms[r])
+		}
+		seen[norms[r]] = r
 	}
 }
 

@@ -1,0 +1,121 @@
+// Package parallel provides the bounded fan-out primitive shared by
+// the build pipeline's hot paths (document rendering and parsing,
+// duplicate-candidate scoring, TF-IDF vectorization, regex
+// classification).
+//
+// The contract is strict determinism: work is identified by index,
+// results are collected by index, and error propagation prefers the
+// lowest failing index — so for a fixed input the outcome is
+// byte-identical no matter how many workers run, and identical to the
+// sequential execution. Stages whose state is order-dependent (the
+// corpus generator's single RNG stream, the dedup oracle loop over
+// mutable DSU state, the annotator error processes) must NOT be run
+// through this package; see DESIGN.md for the stage-by-stage contract.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a Parallelism knob into a concrete worker count:
+// values <= 0 select runtime.GOMAXPROCS(0), anything else is returned
+// unchanged. 1 means sequential execution on the calling goroutine.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do runs fn(i) for every i in [0, n) on at most workers goroutines
+// (resolved by Workers and clamped to n). Callers communicate results
+// by writing to the i-th slot of a pre-sized slice, which keeps
+// collection deterministic and race-free without locks.
+//
+// With one worker, Do degenerates to the plain sequential loop and
+// stops at the first error, exactly like the code it replaces. With
+// several workers every index runs regardless of failures, and the
+// error of the lowest failing index is returned — the same error the
+// sequential loop would have surfaced first.
+func Do(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) under Do and returns the
+// results in index order: out[i] = fn(i). On error the first (lowest
+// index) error is returned and the results are discarded.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Do(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Gather runs fn(i) for every i in [0, n) under Do, where each fn
+// returns a slice of items, and concatenates the per-index slices in
+// index order. This is the row-sharding primitive of the O(n^2)
+// candidate-scoring loops: each row produces its matches
+// independently, and the merged order equals the sequential scan's.
+func Gather[T any](n, workers int, fn func(i int) []T) []T {
+	rows := make([][]T, n)
+	_ = Do(n, workers, func(i int) error {
+		rows[i] = fn(i)
+		return nil
+	})
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	out := make([]T, 0, total)
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}

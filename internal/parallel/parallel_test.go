@@ -1,0 +1,135 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS (%d)", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 57
+		counts := make([]int32, n)
+		err := Do(n, workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoEmptyAndSingle(t *testing.T) {
+	if err := Do(0, 4, func(int) error { t.Fatal("fn called for n=0"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := Do(1, 8, func(i int) error { ran = true; return nil }); err != nil || !ran {
+		t.Fatalf("n=1: ran=%v err=%v", ran, err)
+	}
+}
+
+func TestDoFirstErrorIsLowestIndex(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := Do(20, workers, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 17:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestDoSequentialStopsAtFirstError(t *testing.T) {
+	calls := 0
+	err := Do(10, 1, func(i int) error {
+		calls++
+		if i == 2 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || calls != 3 {
+		t.Errorf("calls = %d, err = %v; want 3 calls and an error", calls, err)
+	}
+}
+
+func TestMapIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, err := Map(16, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	want := errors.New("map error")
+	out, err := Map(8, 4, func(i int) (int, error) {
+		if i == 5 {
+			return 0, want
+		}
+		return i, nil
+	})
+	if err != want || out != nil {
+		t.Errorf("Map = (%v, %v), want (nil, %v)", out, err, want)
+	}
+}
+
+// TestGatherMatchesSequentialOrder is the determinism contract of the
+// row-sharded candidate loops: the merged slice must equal the
+// sequential row-major concatenation at every worker count.
+func TestGatherMatchesSequentialOrder(t *testing.T) {
+	rows := func(i int) []string {
+		var out []string
+		for j := 0; j < i%4; j++ {
+			out = append(out, fmt.Sprintf("%d/%d", i, j))
+		}
+		return out
+	}
+	want := Gather(33, 1, rows)
+	for _, workers := range []int{2, 7, 32} {
+		got := Gather(33, workers, rows)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: len = %d, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: [%d] = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package specdoc
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/store"
+)
+
+// TestWriteParseParallelEquivalence pins the determinism contract of
+// the parallel render and parse paths on the full generated corpus:
+// output is identical at every worker count, including diagnostics
+// order.
+func TestWriteParseParallelEquivalence(t *testing.T) {
+	gt, err := corpus.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqTexts := WriteAllParallel(gt.DB, WriteOptions{}, 1)
+	for _, workers := range []int{0, 2, 8} {
+		if parTexts := WriteAllParallel(gt.DB, WriteOptions{}, workers); !reflect.DeepEqual(seqTexts, parTexts) {
+			t.Fatalf("workers=%d: rendered documents differ", workers)
+		}
+	}
+
+	seqDB, seqDiags, err := ParseAllParallel(seqTexts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqEnc, err := store.Encode(seqDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		parDB, parDiags, err := ParseAllParallel(seqTexts, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seqDiags, parDiags) {
+			t.Fatalf("workers=%d: diagnostics differ", workers)
+		}
+		parEnc, err := store.Encode(parDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seqEnc, parEnc) {
+			t.Fatalf("workers=%d: parsed database differs", workers)
+		}
+	}
+}
+
+// TestParseAllParallelErrorMatchesSequential pins the error path: with
+// a document that fails to parse, the parallel merge reports the same
+// error and truncates diagnostics at the same point as the sequential
+// loop (documents are merged in sorted key order).
+func TestParseAllParallelErrorMatchesSequential(t *testing.T) {
+	texts := map[string]string{
+		"a-doc": "not a specification update",
+		"z-doc": "also not one",
+	}
+	_, seqDiags, seqErr := ParseAllParallel(texts, 1)
+	if seqErr == nil {
+		t.Fatal("malformed input parsed successfully")
+	}
+	for _, workers := range []int{0, 8} {
+		_, parDiags, parErr := ParseAllParallel(texts, workers)
+		if parErr == nil {
+			t.Fatalf("workers=%d: malformed input parsed successfully", workers)
+		}
+		if parErr.Error() != seqErr.Error() {
+			t.Errorf("workers=%d: error %q, sequential %q", workers, parErr, seqErr)
+		}
+		if !reflect.DeepEqual(seqDiags, parDiags) {
+			t.Errorf("workers=%d: diagnostics on error differ", workers)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 )
 
 // Diagnostic reports one document inconsistency discovered while
@@ -459,24 +460,46 @@ func LabelToKey(v core.Vendor, label string) (string, int, error) {
 	return fmt.Sprintf("amd-%s-%s", parts[0], strings.ToLower(models)), 0, nil
 }
 
-// ParseAll parses a set of rendered documents into a database. Order
+// ParseAll parses a set of rendered documents into a database using
+// all available CPUs; see ParseAllParallel for the worker knob. Order
 // indices are normalized with core.AssignOrders. Diagnostics from all
 // documents are concatenated.
 func ParseAll(texts map[string]string) (*core.Database, []Diagnostic, error) {
-	db := core.NewDatabase()
-	var diags []Diagnostic
+	return ParseAllParallel(texts, 0)
+}
+
+// ParseAllParallel parses the documents with a bounded worker pool (0
+// = GOMAXPROCS, 1 = sequential). Each document parses independently;
+// the results are merged in sorted key order, so the database, the
+// diagnostic sequence, and error behavior (diagnostics up to and
+// including the first failing document) are identical to the
+// sequential loop at every worker count.
+func ParseAllParallel(texts map[string]string, workers int) (*core.Database, []Diagnostic, error) {
 	keys := make([]string, 0, len(texts))
 	for k := range texts {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	for _, k := range keys {
-		doc, ds, err := Parse(texts[k])
-		diags = append(diags, ds...)
-		if err != nil {
-			return nil, diags, fmt.Errorf("specdoc: document %s: %w", k, err)
+
+	type parsed struct {
+		doc   *core.Document
+		diags []Diagnostic
+		err   error
+	}
+	results, _ := parallel.Map(len(keys), workers, func(i int) (parsed, error) {
+		doc, ds, err := Parse(texts[keys[i]])
+		return parsed{doc: doc, diags: ds, err: err}, nil
+	})
+
+	db := core.NewDatabase()
+	var diags []Diagnostic
+	for i, k := range keys {
+		r := results[i]
+		diags = append(diags, r.diags...)
+		if r.err != nil {
+			return nil, diags, fmt.Errorf("specdoc: document %s: %w", k, r.err)
 		}
-		if err := db.Add(doc); err != nil {
+		if err := db.Add(r.doc); err != nil {
 			return nil, diags, err
 		}
 	}

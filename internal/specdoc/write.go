@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 )
 
 // WriteOptions controls error injection at the text level.
@@ -129,11 +130,24 @@ func writeWrapped(b *strings.Builder, line string) {
 	}
 }
 
-// WriteAll renders every document of a database, keyed by document key.
+// WriteAll renders every document of a database, keyed by document
+// key, using all available CPUs; see WriteAllParallel for the worker
+// knob.
 func WriteAll(db *core.Database, opts WriteOptions) map[string]string {
-	out := make(map[string]string, len(db.Docs))
-	for _, d := range db.Documents() {
-		out[d.Key] = Write(d, opts)
+	return WriteAllParallel(db, opts, 0)
+}
+
+// WriteAllParallel renders every document with a bounded worker pool
+// (0 = GOMAXPROCS, 1 = sequential). Rendering is pure per document, so
+// the output map is identical at every worker count.
+func WriteAllParallel(db *core.Database, opts WriteOptions, workers int) map[string]string {
+	docs := db.Documents()
+	texts, _ := parallel.Map(len(docs), workers, func(i int) (string, error) {
+		return Write(docs[i], opts), nil
+	})
+	out := make(map[string]string, len(docs))
+	for i, d := range docs {
+		out[d.Key] = texts[i]
 	}
 	return out
 }

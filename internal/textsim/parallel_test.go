@@ -1,0 +1,43 @@
+package textsim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// corpusTexts generates a deterministic document set with enough token
+// overlap that RankPairs surfaces pairs at several distinct scores.
+func corpusTexts(n int) []string {
+	subjects := []string{"processor", "cache", "counter", "controller", "interface"}
+	verbs := []string{"may hang", "may report wrong values", "might stall", "may drop packets"}
+	conds := []string{"during power state transitions", "under heavy load", "when an overflow occurs", "in rare circumstances"}
+	texts := make([]string, n)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("%s %s %s",
+			subjects[i%len(subjects)], verbs[(i/2)%len(verbs)], conds[(i/3)%len(conds)])
+	}
+	return texts
+}
+
+// TestCorpusParallelEquivalence pins the determinism contract of the
+// parallel TF-IDF build: the model and the pair ranking are identical
+// at every worker count.
+func TestCorpusParallelEquivalence(t *testing.T) {
+	texts := corpusTexts(40)
+	seq := NewCorpusParallel(texts, 1)
+	for _, workers := range []int{0, 2, 8} {
+		par := NewCorpusParallel(texts, workers)
+		if !reflect.DeepEqual(seq.df, par.df) {
+			t.Fatalf("workers=%d: document frequencies differ", workers)
+		}
+		if !reflect.DeepEqual(seq.vecs, par.vecs) {
+			t.Fatalf("workers=%d: TF-IDF vectors differ", workers)
+		}
+		for _, min := range []float64{0, 0.3, 0.9} {
+			if !reflect.DeepEqual(seq.RankPairsParallel(min, 1), par.RankPairsParallel(min, workers)) {
+				t.Fatalf("workers=%d min=%v: pair rankings differ", workers, min)
+			}
+		}
+	}
+}

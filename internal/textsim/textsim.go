@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 	"unicode"
+
+	"repro/internal/parallel"
 )
 
 // Normalize lower-cases s, strips punctuation, and collapses whitespace,
@@ -97,7 +99,14 @@ func Dice(a, b string) float64 {
 // Levenshtein returns the edit distance between the normalized forms of
 // a and b, counting insertions, deletions and substitutions as 1.
 func Levenshtein(a, b string) int {
-	ra, rb := []rune(Normalize(a)), []rune(Normalize(b))
+	return levenshteinRunes([]rune(Normalize(a)), []rune(Normalize(b)))
+}
+
+// levenshteinRunes is the edit-distance kernel over already-normalized
+// rune slices, so that callers holding normalized text (the dedup
+// candidate-scoring hot loop via LevenshteinSimilarity) pay for
+// normalization exactly once.
+func levenshteinRunes(ra, rb []rune) int {
 	if len(ra) == 0 {
 		return len(rb)
 	}
@@ -126,15 +135,15 @@ func Levenshtein(a, b string) int {
 // LevenshteinSimilarity maps the edit distance to a similarity in [0,1]:
 // 1 - dist/maxLen. Two empty strings are identical.
 func LevenshteinSimilarity(a, b string) float64 {
-	na, nb := Normalize(a), Normalize(b)
-	maxLen := len([]rune(na))
-	if l := len([]rune(nb)); l > maxLen {
-		maxLen = l
+	ra, rb := []rune(Normalize(a)), []rune(Normalize(b))
+	maxLen := len(ra)
+	if len(rb) > maxLen {
+		maxLen = len(rb)
 	}
 	if maxLen == 0 {
 		return 1
 	}
-	return 1 - float64(Levenshtein(na, nb))/float64(maxLen)
+	return 1 - float64(levenshteinRunes(ra, rb))/float64(maxLen)
 }
 
 func minInt(a, b, c int) int {
@@ -195,30 +204,52 @@ type Corpus struct {
 	titles []string
 }
 
-// NewCorpus builds a TF-IDF model over the given texts.
+// NewCorpus builds a TF-IDF model over the given texts using all
+// available CPUs; see NewCorpusParallel for the worker knob.
 func NewCorpus(texts []string) *Corpus {
+	return NewCorpusParallel(texts, 0)
+}
+
+// NewCorpusParallel builds a TF-IDF model over the given texts with a
+// bounded worker pool (0 = GOMAXPROCS, 1 = sequential). Per-document
+// tokenization and vectorization are embarrassingly parallel; the
+// document-frequency accumulation between them is a cheap sequential
+// reduction over per-document sets, so the model is identical at every
+// worker count.
+func NewCorpusParallel(texts []string, workers int) *Corpus {
 	c := &Corpus{
 		df:     make(map[string]int),
 		nDocs:  len(texts),
 		titles: append([]string(nil), texts...),
 	}
-	tfs := make([]map[string]int, len(texts))
-	for i, t := range texts {
+	tfs, _ := parallel.Map(len(texts), workers, func(i int) (map[string]int, error) {
 		tf := make(map[string]int)
-		for _, tok := range Tokens(t) {
+		for _, tok := range Tokens(texts[i]) {
 			tf[tok]++
 		}
-		tfs[i] = tf
+		return tf, nil
+	})
+	for _, tf := range tfs {
 		for tok := range tf {
 			c.df[tok]++
 		}
 	}
 	c.vecs = make([]map[string]float64, len(texts))
-	for i, tf := range tfs {
+	_ = parallel.Do(len(texts), workers, func(i int) error {
+		tf := tfs[i]
+		// Accumulate the norm in sorted token order: float addition is
+		// not associative, and map iteration order is randomized per
+		// run, so a fixed summation order is what makes the vectors
+		// reproducible run to run.
+		toks := make([]string, 0, len(tf))
+		for tok := range tf {
+			toks = append(toks, tok)
+		}
+		sort.Strings(toks)
 		vec := make(map[string]float64, len(tf))
 		var norm float64
-		for tok, n := range tf {
-			w := float64(n) * c.idf(tok)
+		for _, tok := range toks {
+			w := float64(tf[tok]) * c.idf(tok)
 			vec[tok] = w
 			norm += w * w
 		}
@@ -229,7 +260,8 @@ func NewCorpus(texts []string) *Corpus {
 			}
 		}
 		c.vecs[i] = vec
-	}
+		return nil
+	})
 	return c
 }
 
@@ -250,11 +282,18 @@ func (c *Corpus) Cosine(i, j int) float64 {
 	if len(vi) > len(vj) {
 		vi, vj = vj, vi
 	}
-	var dot float64
-	for tok, w := range vi {
-		if w2, ok := vj[tok]; ok {
-			dot += w * w2
+	// Sum the dot product in sorted token order so the score is
+	// reproducible run to run (see NewCorpusParallel).
+	toks := make([]string, 0, len(vi))
+	for tok := range vi {
+		if _, ok := vj[tok]; ok {
+			toks = append(toks, tok)
 		}
+	}
+	sort.Strings(toks)
+	var dot float64
+	for _, tok := range toks {
+		dot += vi[tok] * vj[tok]
 	}
 	if dot > 1 {
 		dot = 1 // guard against rounding
@@ -271,16 +310,27 @@ type Pair struct {
 // RankPairs returns all pairs (i<j) with similarity of at least min,
 // sorted by decreasing score (stable for equal scores by (I,J)). This
 // mirrors the paper's manual review of candidate duplicates "sorted by
-// decreasing title similarity".
+// decreasing title similarity". It uses all available CPUs; see
+// RankPairsParallel for the worker knob.
 func (c *Corpus) RankPairs(min float64) []Pair {
-	var out []Pair
-	for i := 0; i < c.nDocs; i++ {
+	return c.RankPairsParallel(min, 0)
+}
+
+// RankPairsParallel is RankPairs with a bounded worker pool (0 =
+// GOMAXPROCS, 1 = sequential). The O(n^2) scan is sharded by row;
+// per-row matches are merged in row order, so the pre-sort order — and
+// with the total (score, I, J) ordering, the final ranking — is
+// identical to the sequential scan at every worker count.
+func (c *Corpus) RankPairsParallel(min float64, workers int) []Pair {
+	out := parallel.Gather(c.nDocs, workers, func(i int) []Pair {
+		var row []Pair
 		for j := i + 1; j < c.nDocs; j++ {
 			if s := c.Cosine(i, j); s >= min {
-				out = append(out, Pair{I: i, J: j, Score: s})
+				row = append(row, Pair{I: i, J: j, Score: s})
 			}
 		}
-	}
+		return row
+	})
 	sort.SliceStable(out, func(a, b int) bool {
 		if out[a].Score != out[b].Score {
 			return out[a].Score > out[b].Score

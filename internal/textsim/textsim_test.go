@@ -80,6 +80,40 @@ func TestLevenshtein(t *testing.T) {
 	}
 }
 
+// TestLevenshteinSimilarityPinned pins exact similarity scores so that
+// refactorings of the edit-distance hot path (shared by the dedup
+// candidate scoring) cannot silently change the ranking.
+func TestLevenshteinSimilarityPinned(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"Processor May Hang During Power State Transitions Under Load", "Processor Might Hang During Power State Transitions", 0.75},
+		{"X87 FDP Value May be Saved Incorrectly", "X87 FDP Value May be Stored Incorrectly", 0.92307692307692313},
+		{"Counter May Report Wrong Values", "Counter Might Report Wrong Values", 0.87878787878787878},
+		{"USB Controller Drops Packets", "Cache Line Eviction May Stall", 0.10344827586206895},
+		{"  Hello,   World!! ", "hello world", 1},
+		{"", "nonempty", 0},
+	}
+	for _, c := range cases {
+		if got := LevenshteinSimilarity(c.a, c.b); got != c.want {
+			t.Errorf("LevenshteinSimilarity(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// The similarity must stay consistent with the public distance.
+		ra, rb := []rune(Normalize(c.a)), []rune(Normalize(c.b))
+		maxLen := len(ra)
+		if len(rb) > maxLen {
+			maxLen = len(rb)
+		}
+		if maxLen > 0 {
+			want := 1 - float64(Levenshtein(c.a, c.b))/float64(maxLen)
+			if got := LevenshteinSimilarity(c.a, c.b); got != want {
+				t.Errorf("LevenshteinSimilarity(%q,%q) = %v, inconsistent with Levenshtein (%v)", c.a, c.b, got, want)
+			}
+		}
+	}
+}
+
 func TestShingles(t *testing.T) {
 	sh := Shingles("a b c d", 2)
 	for _, want := range []string{"a b", "b c", "c d"} {

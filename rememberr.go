@@ -88,7 +88,9 @@ type BuildOptions struct {
 	// Jaccard; see the ablation benchmarks for alternatives).
 	SimilarityMetric Metric
 	// SimilarityThreshold is the minimum title similarity for a
-	// candidate pair to be reviewed (default 0.6).
+	// candidate pair to be reviewed. The zero value selects the default
+	// 0.6; use SetSimilarityThreshold to request an explicit threshold
+	// of 0 ("review every candidate pair").
 	SimilarityThreshold float64
 	// UseLSH switches duplicate-candidate generation to the MinHash/LSH
 	// index (near-linear instead of the exact O(n^2) scan).
@@ -96,9 +98,56 @@ type BuildOptions struct {
 	// Interpolate enables sequential-number disclosure interpolation
 	// (default true, as in the paper).
 	Interpolate bool
-	// AnnotationSteps is the number of four-eyes discussion batches
-	// (default 7, as in the paper).
+	// AnnotationSteps is the number of four-eyes discussion batches.
+	// The zero value selects the default 7 (as in the paper); use
+	// SetAnnotationSteps to pass an explicit value, which is validated
+	// instead of silently replaced.
 	AnnotationSteps int
+	// Parallelism bounds the number of worker goroutines used by the
+	// parallel pipeline stages: document rendering and parsing,
+	// duplicate-candidate scoring, and regex classification. 0 selects
+	// runtime.GOMAXPROCS(0); 1 forces the fully sequential path. The
+	// built database and report are byte-identical at every value —
+	// see the concurrency model in DESIGN.md.
+	Parallelism int
+
+	// similarityThresholdSet / annotationStepsSet distinguish explicit
+	// zero values (via the setters) from unset fields.
+	similarityThresholdSet bool
+	annotationStepsSet     bool
+}
+
+// SetSimilarityThreshold sets SimilarityThreshold explicitly. Unlike
+// assigning the field directly, an explicit zero survives option
+// normalization: every candidate pair is surfaced for review instead
+// of silently falling back to the default 0.6.
+func (o *BuildOptions) SetSimilarityThreshold(t float64) {
+	o.SimilarityThreshold = t
+	o.similarityThresholdSet = true
+}
+
+// SetAnnotationSteps sets AnnotationSteps explicitly. Unlike assigning
+// the field directly, an explicit zero is passed through to the
+// annotation stage — which rejects it — instead of being silently
+// replaced by the default 7.
+func (o *BuildOptions) SetAnnotationSteps(n int) {
+	o.AnnotationSteps = n
+	o.annotationStepsSet = true
+}
+
+// normalized resolves unset options to their documented defaults
+// without disturbing explicitly set values.
+func (o BuildOptions) normalized() BuildOptions {
+	if o.SimilarityMetric == "" {
+		o.SimilarityMetric = textsim.MetricJaccard
+	}
+	if o.SimilarityThreshold == 0 && !o.similarityThresholdSet {
+		o.SimilarityThreshold = 0.6
+	}
+	if o.AnnotationSteps == 0 && !o.annotationStepsSet {
+		o.AnnotationSteps = 7
+	}
+	return o
 }
 
 // DefaultBuildOptions returns the paper-faithful configuration.
@@ -140,17 +189,12 @@ type Database struct {
 // parsing, deduplication, classification plus simulated four-eyes
 // annotation, and disclosure-date inference.
 func Build(opts BuildOptions) (*Database, *BuildReport, error) {
-	if opts.SimilarityMetric == "" {
-		opts.SimilarityMetric = textsim.MetricJaccard
-	}
-	if opts.SimilarityThreshold == 0 {
-		opts.SimilarityThreshold = 0.6
-	}
-	if opts.AnnotationSteps == 0 {
-		opts.AnnotationSteps = 7
-	}
+	opts = opts.normalized()
 
-	// 1. Acquire: generate the corpus and render the documents.
+	// 1. Acquire: generate the corpus and render the documents. The
+	// generator stays sequential by design: all its sampling shares one
+	// seeded RNG stream, so per-document fan-out would change the draw
+	// order and break seed reproducibility.
 	gt, err := corpus.Generate(opts.Seed)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rememberr: corpus generation: %w", err)
@@ -165,10 +209,10 @@ func Build(opts BuildOptions) (*Database, *BuildReport, error) {
 			dup[fe.Ref] = field
 		}
 	}
-	texts := specdoc.WriteAll(gt.DB, specdoc.WriteOptions{DuplicateFields: dup})
+	texts := specdoc.WriteAllParallel(gt.DB, specdoc.WriteOptions{DuplicateFields: dup}, opts.Parallelism)
 
 	// 2. Parse.
-	db, diags, err := specdoc.ParseAll(texts)
+	db, diags, err := specdoc.ParseAllParallel(texts, opts.Parallelism)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rememberr: parse: %w", err)
 	}
@@ -185,12 +229,17 @@ func Build(opts BuildOptions) (*Database, *BuildReport, error) {
 		ka, kb := truthKey[corpus.EntryRef(a)], truthKey[corpus.EntryRef(b)]
 		return ka != "" && ka == kb
 	}
-	dres, err := dedup.Deduplicate(db, dedup.Options{
-		Metric:    opts.SimilarityMetric,
-		Threshold: opts.SimilarityThreshold,
-		Oracle:    oracle,
-		UseLSH:    opts.UseLSH,
-	})
+	dopts := dedup.Options{
+		Metric:      opts.SimilarityMetric,
+		Oracle:      oracle,
+		UseLSH:      opts.UseLSH,
+		Parallelism: opts.Parallelism,
+	}
+	// The threshold is already resolved, so pass it explicitly: an
+	// explicit zero must review every candidate pair rather than
+	// trip dedup's own default.
+	dopts.SetThreshold(opts.SimilarityThreshold)
+	dres, err := dedup.Deduplicate(db, dopts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rememberr: dedup: %w", err)
 	}
@@ -208,7 +257,8 @@ func Build(opts BuildOptions) (*Database, *BuildReport, error) {
 	aopts := annotate.DefaultOptions()
 	aopts.Seed = opts.Seed
 	aopts.Steps = opts.AnnotationSteps
-	if opts.AnnotationSteps != 7 {
+	aopts.Workers = opts.Parallelism
+	if opts.AnnotationSteps != 7 && opts.AnnotationSteps > 0 {
 		aopts.StepFractions = uniformFractions(opts.AnnotationSteps)
 	}
 	ares, err := annotate.Run(db, classify.NewEngine(), truth, aopts)
