@@ -1,0 +1,75 @@
+// Command errserve serves a RemembERR errata database over HTTP.
+//
+// Usage:
+//
+//	errserve [-db FILE | -seed N] [-addr :8372] [-cache N] [-timeout D]
+//
+// The database is either loaded from a previously saved JSON file
+// (".gz" supported, see 'rememberr build') or built from the synthetic
+// corpus with the given seed. The server answers JSON on:
+//
+//	GET /errata        filtered queries (?vendor=Intel&category=...)
+//	GET /errata/{key}  all occurrences of one deduplicated erratum
+//	GET /stats         corpus statistics
+//	GET /healthz       liveness probe
+//	GET /metrics       request counters and cache statistics
+//
+// It shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	rememberr "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	fs := flag.NewFlagSet("errserve", flag.ExitOnError)
+	addr := fs.String("addr", ":8372", "listen address")
+	dbFile := fs.String("db", "", "load a saved database JSON instead of building")
+	seed := fs.Int64("seed", 1, "corpus generator seed (when building)")
+	par := fs.Int("parallelism", 0, "pipeline worker goroutines (0 = all CPUs, 1 = sequential)")
+	cacheSize := fs.Int("cache", 256, "query result cache capacity (negative disables)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request handler timeout")
+	fs.Parse(os.Args[1:])
+
+	if err := run(*addr, *dbFile, *seed, *par, *cacheSize, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "errserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dbFile string, seed int64, par, cacheSize int, timeout time.Duration) error {
+	var db *rememberr.Database
+	var err error
+	if dbFile != "" {
+		db, err = rememberr.Load(dbFile)
+	} else {
+		opts := rememberr.DefaultBuildOptions()
+		opts.Seed = seed
+		opts.Parallelism = par
+		db, _, err = rememberr.Build(opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	srv := serve.New(db.Core(), serve.Options{
+		CacheSize:      cacheSize,
+		RequestTimeout: timeout,
+	})
+	st := db.Stats()
+	fmt.Printf("serving %d errata (%d unique) on %s\n", st.Total, st.Unique, addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.Serve(ctx, addr)
+}

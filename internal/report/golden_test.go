@@ -1,0 +1,73 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenFixtures renders every exported renderer — text, CSV, HTML and
+// SVG — on fixed inputs. One golden file per renderer under testdata/;
+// regenerate with 'go test ./internal/report -update' after a
+// deliberate output change and review the diff.
+func goldenFixtures() map[string]string {
+	headers := []string{"Class", "Intel", "AMD"}
+	rows := [][]string{
+		{"Trg_POW", "120", "38"},
+		{"Eff_HNG", "85", "41"},
+		{"quoted \"cell\", with comma", "1", "<2>"},
+	}
+	bars := []Bar{
+		{Label: "Trg_POW", Value: 120},
+		{Label: "Eff_HNG", Value: 85.5, Note: "(hangs)"},
+		{Label: "empty", Value: 0},
+	}
+	labels := []string{"POW", "MOP", "FLT"}
+	matrix := [][]int{{9, 2, 0}, {2, 5, 1}, {0, 1, 3}}
+	mk := func(y int) time.Time { return time.Date(y, 6, 1, 0, 0, 0, 0, time.UTC) }
+	series := map[string][]Point{
+		"Intel": {{Date: mk(2010), Value: 10}, {Date: mk(2011), Value: 35}, {Date: mk(2013), Value: 80}},
+		"AMD":   {{Date: mk(2009), Value: 5}, {Date: mk(2012), Value: 40}},
+		"none":  {},
+	}
+	return map[string]string{
+		"table.txt":    Table(headers, rows),
+		"barchart.txt": BarChart("errata per class", bars, 30),
+		"heatmap.txt":  Heatmap("co-occurrence", labels, matrix),
+		"series.txt":   Series("cumulative errata", series, 40),
+		"yearly.txt":   YearlyBreakdown("Intel", series["Intel"]),
+		"csv.csv":      CSV(headers, rows),
+		"table.html":   HTMLTable(headers, rows),
+		"barchart.svg": SVGBarChart("errata per class", bars, 400),
+		"series.svg":   SVGSeries("cumulative errata", series, 400, 200),
+		"heatmap.svg":  SVGHeatmap("co-occurrence", labels, matrix, 16),
+	}
+}
+
+func TestGoldenRenderers(t *testing.T) {
+	for name, got := range goldenFixtures() {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output changed (got %d bytes, want %d); diff against %s and rerun with -update if intended:\n%s",
+					name, len(got), len(want), path, got)
+			}
+		})
+	}
+}

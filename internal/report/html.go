@@ -1,0 +1,32 @@
+package report
+
+import (
+	"html"
+	"strings"
+)
+
+// HTMLTable renders an HTML table with a header row. Cells are
+// HTML-escaped; layout (borders, fonts) is left to the embedding
+// page's stylesheet. The first header cell may be empty for row-label
+// tables.
+func HTMLTable(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("<table><tr>")
+	for _, h := range headers {
+		b.WriteString("<th>")
+		b.WriteString(html.EscapeString(h))
+		b.WriteString("</th>")
+	}
+	b.WriteString("</tr>\n")
+	for _, row := range rows {
+		b.WriteString("<tr>")
+		for _, c := range row {
+			b.WriteString("<td>")
+			b.WriteString(html.EscapeString(c))
+			b.WriteString("</td>")
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a mutex-guarded LRU cache from canonicalized query keys
+// to serialized JSON responses. The database behind the server is
+// immutable, so entries never expire; capacity eviction is the only
+// invalidation. Hit/miss/eviction counts feed /metrics.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// newLRUCache returns a cache holding up to max entries; max <= 0
+// disables caching (every lookup misses, nothing is stored).
+func newLRUCache(max int) *lruCache {
+	return &lruCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *lruCache) put(key string, val []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats returns a consistent snapshot of the counters and size.
+func (c *lruCache) stats() (hits, misses, evictions int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.ll.Len()
+}

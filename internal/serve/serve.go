@@ -1,0 +1,588 @@
+// Package serve exposes a loaded RemembERR database over an HTTP JSON
+// API — the serving layer for the paper's released-database use case.
+// Endpoints:
+//
+//	GET /errata        filtered query (see parseFilters for parameters)
+//	GET /errata/{key}  every occurrence of one deduplicated erratum
+//	GET /stats         corpus statistics
+//	GET /healthz       liveness probe
+//	GET /metrics       per-endpoint counters and cache statistics
+//
+// Queries execute on the inverted index (internal/index), results are
+// memoized in an LRU cache keyed by the canonicalized filter set, and
+// every endpoint records request/error/latency counters exported at
+// /metrics in expvar style (plain JSON, no dependencies). The server
+// is safe for arbitrary concurrency: the database and index are
+// immutable snapshots, the cache is mutex-guarded, and the counters are
+// atomics.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/taxonomy"
+)
+
+// Options configures the server.
+type Options struct {
+	// CacheSize is the LRU capacity in cached responses. 0 selects the
+	// default 256; negative disables caching.
+	CacheSize int
+	// RequestTimeout bounds handler execution per request. 0 selects
+	// the default 10s.
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds how long Serve waits for in-flight requests
+	// on shutdown. 0 selects the default 5s.
+	ShutdownGrace time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.ShutdownGrace == 0 {
+		o.ShutdownGrace = 5 * time.Second
+	}
+	return o
+}
+
+// endpointMetrics counts one route's traffic.
+type endpointMetrics struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	latencyNS atomic.Int64
+}
+
+// Server serves one immutable database snapshot.
+type Server struct {
+	db    *core.Database
+	ix    *index.Index
+	opts  Options
+	cache *lruCache
+	stats core.Stats
+
+	metrics map[string]*endpointMetrics
+}
+
+// New builds the index over db and returns a ready server. The caller
+// must not mutate db afterwards.
+func New(db *core.Database, opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		db:    db,
+		ix:    index.Build(db),
+		opts:  opts,
+		cache: newLRUCache(opts.CacheSize),
+		stats: db.ComputeStats(),
+		metrics: map[string]*endpointMetrics{
+			"errata":  {},
+			"erratum": {},
+			"stats":   {},
+			"healthz": {},
+			"metrics": {},
+		},
+	}
+}
+
+// Handler returns the routed HTTP handler with request timeouts
+// applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /errata", s.instrument("errata", s.handleErrata))
+	mux.HandleFunc("GET /errata/{key}", s.instrument("erratum", s.handleErratum))
+	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return http.TimeoutHandler(mux, s.opts.RequestTimeout, `{"error":"request timed out"}`)
+}
+
+// Serve listens on addr until ctx is cancelled, then shuts down
+// gracefully, draining in-flight requests within the shutdown grace.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownGrace)
+		defer cancel()
+		done <- srv.Shutdown(shutdownCtx)
+	}()
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
+}
+
+// statusRecorder captures the response status for error counting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	m := s.metrics[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		m.requests.Add(1)
+		m.latencyNS.Add(time.Since(start).Nanoseconds())
+		if rec.status >= 400 {
+			m.errors.Add(1)
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	body, _ := json.Marshal(map[string]string{"error": msg})
+	writeJSON(w, status, body)
+}
+
+// filterParams lists every /errata query parameter in canonical order;
+// the cache key is built by walking this list, so two requests with
+// reordered or repeated-but-equal parameters share one cache entry.
+var filterParams = []string{
+	"vendor", "doc", "category", "any_category", "class", "trigger",
+	"min_triggers", "msr", "title", "complex", "sim_only", "workaround",
+	"fix", "disclosed_from", "disclosed_to", "unique", "limit", "offset",
+}
+
+type errataRequest struct {
+	query  *index.Query
+	unique bool
+	limit  int
+	offset int
+	key    string // canonicalized filter set
+}
+
+func parseBool(s string) (bool, error) {
+	switch strings.ToLower(s) {
+	case "1", "true", "yes":
+		return true, nil
+	case "0", "false", "no":
+		return false, nil
+	default:
+		return false, fmt.Errorf("bad boolean %q", s)
+	}
+}
+
+const dateFmt = "2006-01-02"
+
+// parseFilters compiles URL query parameters into an index query plus a
+// canonical cache key. Unknown parameters are rejected so that typos
+// surface as 400s instead of silently matching everything.
+func (s *Server) parseFilters(values url.Values) (*errataRequest, error) {
+	for p := range values {
+		known := false
+		for _, k := range filterParams {
+			if p == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown parameter %q", p)
+		}
+	}
+
+	req := &errataRequest{query: s.ix.Query(), unique: true, limit: 100}
+	var keyParts []string
+	canon := func(param string, vals ...string) {
+		sort.Strings(vals)
+		keyParts = append(keyParts, param+"="+strings.Join(vals, ","))
+	}
+
+	for _, param := range filterParams {
+		vals, ok := values[param]
+		if !ok || len(vals) == 0 {
+			continue
+		}
+		switch param {
+		case "vendor":
+			v, err := core.ParseVendor(vals[0])
+			if err != nil {
+				return nil, err
+			}
+			req.query.Vendor(v)
+			canon(param, v.String())
+		case "doc":
+			req.query.InDocument(vals[0])
+			canon(param, vals[0])
+		case "category":
+			for _, c := range vals {
+				req.query.WithCategory(c)
+			}
+			canon(param, vals...)
+		case "any_category":
+			// Each occurrence is one disjunctive group of
+			// comma-separated categories; groups compose conjunctively.
+			groups := make([]string, 0, len(vals))
+			for _, group := range vals {
+				ids := splitList(group)
+				req.query.AnyCategory(ids...)
+				sort.Strings(ids)
+				groups = append(groups, strings.Join(ids, ","))
+			}
+			canon(param, groups...)
+		case "class":
+			for _, c := range vals {
+				req.query.WithClass(c)
+			}
+			canon(param, vals...)
+		case "trigger":
+			req.query.WithAllTriggers(vals...)
+			canon(param, vals...)
+		case "min_triggers":
+			n, err := strconv.Atoi(vals[0])
+			if err != nil {
+				return nil, fmt.Errorf("bad min_triggers %q", vals[0])
+			}
+			req.query.MinTriggers(n)
+			canon(param, strconv.Itoa(n))
+		case "msr":
+			for _, m := range vals {
+				req.query.ObservableIn(m)
+			}
+			canon(param, vals...)
+		case "title":
+			req.query.TitleContains(vals[0])
+			canon(param, strings.ToLower(vals[0]))
+		case "complex":
+			b, err := parseBool(vals[0])
+			if err != nil {
+				return nil, err
+			}
+			if b {
+				req.query.Complex()
+			}
+			canon(param, strconv.FormatBool(b))
+		case "sim_only":
+			b, err := parseBool(vals[0])
+			if err != nil {
+				return nil, err
+			}
+			if b {
+				req.query.SimulationOnly()
+			}
+			canon(param, strconv.FormatBool(b))
+		case "workaround":
+			wc, err := core.ParseWorkaroundCategory(vals[0])
+			if err != nil {
+				return nil, err
+			}
+			req.query.Workaround(wc)
+			canon(param, wc.String())
+		case "fix":
+			fx, err := core.ParseFixStatus(vals[0])
+			if err != nil {
+				return nil, err
+			}
+			req.query.Fix(fx)
+			canon(param, fx.String())
+		case "disclosed_from", "disclosed_to":
+			// Handled together below; canonicalized there.
+		case "unique":
+			b, err := parseBool(vals[0])
+			if err != nil {
+				return nil, err
+			}
+			req.unique = b
+			canon(param, strconv.FormatBool(b))
+		case "limit":
+			n, err := strconv.Atoi(vals[0])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad limit %q", vals[0])
+			}
+			if n > 1000 {
+				n = 1000
+			}
+			req.limit = n
+			canon(param, strconv.Itoa(n))
+		case "offset":
+			n, err := strconv.Atoi(vals[0])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad offset %q", vals[0])
+			}
+			req.offset = n
+			canon(param, strconv.Itoa(n))
+		}
+	}
+
+	fromS, toS := values.Get("disclosed_from"), values.Get("disclosed_to")
+	if fromS != "" || toS != "" {
+		from := time.Time{}
+		to := time.Date(9999, 12, 31, 0, 0, 0, 0, time.UTC)
+		var err error
+		if fromS != "" {
+			if from, err = time.Parse(dateFmt, fromS); err != nil {
+				return nil, fmt.Errorf("bad disclosed_from %q", fromS)
+			}
+		}
+		if toS != "" {
+			if to, err = time.Parse(dateFmt, toS); err != nil {
+				return nil, fmt.Errorf("bad disclosed_to %q", toS)
+			}
+		}
+		req.query.DisclosedBetween(from, to)
+		canon("disclosed", from.Format(dateFmt), to.Format(dateFmt))
+	}
+
+	sort.Strings(keyParts)
+	req.key = strings.Join(keyParts, "&")
+	return req, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+type erratumSummary struct {
+	FullID    string `json:"full_id"`
+	Key       string `json:"key,omitempty"`
+	Doc       string `json:"doc"`
+	ID        string `json:"id"`
+	Vendor    string `json:"vendor"`
+	Title     string `json:"title"`
+	Disclosed string `json:"disclosed,omitempty"`
+}
+
+func (s *Server) summarize(e *core.Erratum) erratumSummary {
+	sum := erratumSummary{
+		FullID: e.FullID(),
+		Key:    e.Key,
+		Doc:    e.DocKey,
+		ID:     e.ID,
+		Title:  e.Title,
+	}
+	if d := s.db.Docs[e.DocKey]; d != nil {
+		sum.Vendor = d.Vendor.String()
+	}
+	if !e.Disclosed.IsZero() {
+		sum.Disclosed = e.Disclosed.Format(dateFmt)
+	}
+	return sum
+}
+
+func (s *Server) handleErrata(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseFilters(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if body, ok := s.cache.get(req.key); ok {
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	var matches []*core.Erratum
+	if req.unique {
+		matches = req.query.Unique()
+	} else {
+		matches = req.query.All()
+	}
+	page := matches
+	if req.offset < len(page) {
+		page = page[req.offset:]
+	} else {
+		page = nil
+	}
+	if len(page) > req.limit {
+		page = page[:req.limit]
+	}
+	summaries := make([]erratumSummary, 0, len(page))
+	for _, e := range page {
+		summaries = append(summaries, s.summarize(e))
+	}
+	body, err := json.Marshal(struct {
+		Total  int              `json:"total"`
+		Offset int              `json:"offset"`
+		Count  int              `json:"count"`
+		Unique bool             `json:"unique"`
+		Errata []erratumSummary `json:"errata"`
+	}{len(matches), req.offset, len(summaries), req.unique, summaries})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.cache.put(req.key, body)
+	writeJSON(w, http.StatusOK, body)
+}
+
+type itemJSON struct {
+	Category string `json:"category"`
+	Concrete string `json:"concrete,omitempty"`
+}
+
+func itemsJSON(items []core.Item) []itemJSON {
+	out := make([]itemJSON, 0, len(items))
+	for _, it := range items {
+		out = append(out, itemJSON{Category: it.Category, Concrete: it.Concrete})
+	}
+	return out
+}
+
+type erratumDetail struct {
+	erratumSummary
+	Seq         int        `json:"seq"`
+	Description string     `json:"description,omitempty"`
+	Implication string     `json:"implication,omitempty"`
+	Workaround  string     `json:"workaround,omitempty"`
+	Status      string     `json:"status,omitempty"`
+	WorkCat     string     `json:"workaround_category"`
+	Fix         string     `json:"fix_status"`
+	Triggers    []itemJSON `json:"triggers,omitempty"`
+	Contexts    []itemJSON `json:"contexts,omitempty"`
+	Effects     []itemJSON `json:"effects,omitempty"`
+	MSRs        []string   `json:"msrs,omitempty"`
+	Complex     bool       `json:"complex_conditions,omitempty"`
+	SimOnly     bool       `json:"simulation_only,omitempty"`
+}
+
+func (s *Server) handleErratum(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	occurrences := s.ix.ByKey(key)
+	if len(occurrences) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no erratum with key %q", key))
+		return
+	}
+	details := make([]erratumDetail, 0, len(occurrences))
+	for _, e := range occurrences {
+		details = append(details, erratumDetail{
+			erratumSummary: s.summarize(e),
+			Seq:            e.Seq,
+			Description:    e.Description,
+			Implication:    e.Implication,
+			Workaround:     e.Workaround,
+			Status:         e.Status,
+			WorkCat:        e.WorkaroundCat.String(),
+			Fix:            e.Fix.String(),
+			Triggers:       itemsJSON(e.Ann.Triggers),
+			Contexts:       itemsJSON(e.Ann.Contexts),
+			Effects:        itemsJSON(e.Ann.Effects),
+			MSRs:           e.Ann.MSRs,
+			Complex:        e.Ann.ComplexConditions,
+			SimOnly:        e.Ann.SimulationOnly,
+		})
+	}
+	body, _ := json.Marshal(struct {
+		Key         string          `json:"key"`
+		Occurrences int             `json:"occurrences"`
+		Entries     []erratumDetail `json:"entries"`
+	}{key, len(details), details})
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.stats
+	body, _ := json.Marshal(struct {
+		Documents    int `json:"documents"`
+		IntelDocs    int `json:"intel_documents"`
+		AMDDocs      int `json:"amd_documents"`
+		Total        int `json:"errata"`
+		IntelTotal   int `json:"intel_errata"`
+		AMDTotal     int `json:"amd_errata"`
+		Unique       int `json:"unique"`
+		IntelUnique  int `json:"intel_unique"`
+		AMDUnique    int `json:"amd_unique"`
+		Annotated    int `json:"annotated"`
+		Unclassified int `json:"unclassified"`
+		Categories   int `json:"categories"`
+	}{
+		st.Documents, st.IntelDocs, st.AMDDocs,
+		st.Total, st.IntelTotal, st.AMDTotal,
+		st.Unique, st.IntelUnique, st.AMDUnique,
+		st.Annotated, st.Unclassified,
+		s.db.Scheme.NumCategories(taxonomy.Kind(-1)),
+	})
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	body, _ := json.Marshal(struct {
+		Status string `json:"status"`
+		Errata int    `json:"errata"`
+		Unique int    `json:"unique"`
+	}{"ok", s.ix.Size(), s.ix.UniqueCount()})
+	writeJSON(w, http.StatusOK, body)
+}
+
+// EndpointSnapshot is one endpoint's counters at a point in time.
+type EndpointSnapshot struct {
+	Requests  int64 `json:"requests"`
+	Errors    int64 `json:"errors"`
+	LatencyNS int64 `json:"latency_ns"`
+}
+
+// CacheSnapshot is the cache counters at a point in time.
+type CacheSnapshot struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// MetricsSnapshot is the full /metrics payload.
+type MetricsSnapshot struct {
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+	Cache     CacheSnapshot               `json:"cache"`
+}
+
+// Metrics returns a snapshot of all counters; the same data backs the
+// /metrics endpoint.
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := MetricsSnapshot{Endpoints: make(map[string]EndpointSnapshot, len(s.metrics))}
+	for name, m := range s.metrics {
+		snap.Endpoints[name] = EndpointSnapshot{
+			Requests:  m.requests.Load(),
+			Errors:    m.errors.Load(),
+			LatencyNS: m.latencyNS.Load(),
+		}
+	}
+	hits, misses, evictions, entries := s.cache.stats()
+	snap.Cache = CacheSnapshot{
+		Hits: hits, Misses: misses, Evictions: evictions,
+		Entries: entries, Capacity: s.cache.max,
+	}
+	return snap
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	body, _ := json.Marshal(s.Metrics())
+	writeJSON(w, http.StatusOK, body)
+}

@@ -1,0 +1,80 @@
+package specdoc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// FuzzParseDocument fuzzes the tolerant parser with mutated
+// specification-update text. Properties:
+//
+//  1. Parse never panics, whatever the input.
+//  2. If Parse accepts the input, the writer's rendering of the result
+//     must itself parse ("writer output is always a valid document").
+//  3. Parse∘Write is a fixed point after one normalization round:
+//     the first round may collapse whitespace and canonicalize the
+//     summary table, but a second write/parse round trip must
+//     reproduce the document exactly.
+func FuzzParseDocument(f *testing.F) {
+	// Corpus-derived seeds, truncated to a handful of errata per
+	// document: full renderings run ~110KB and starve the mutator.
+	gt, err := corpus.Generate(1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, d := range gt.DB.Documents() {
+		if i >= 3 {
+			break
+		}
+		trimmed := *d
+		if len(trimmed.Errata) > 4 {
+			trimmed.Errata = trimmed.Errata[:4]
+		}
+		if len(trimmed.Revisions) > 3 {
+			trimmed.Revisions = trimmed.Revisions[:3]
+		}
+		f.Add(Write(&trimmed, WriteOptions{}))
+	}
+	f.Add("SPECIFICATION UPDATE\n")
+	f.Add("SPECIFICATION UPDATE\nVendor: Intel\nGeneration: 1 (D)\nReleased: 2010-01\n" +
+		"REVISION HISTORY\nRevision 1 (2010-01): Added AAA001\n" +
+		"SUMMARY TABLE OF CHANGES\nAAA001 | Fixed | A title\n" +
+		"ERRATA\n\nID: AAA001\nTitle: A title\nProblem: Something breaks.\n" +
+		"Status: Fixed\n\nEND OF DOCUMENT\n")
+	// Adversarial structure: pipes in cells, a live "Withdrawn" status,
+	// reused IDs, double-added revision notes, unmentioned errata.
+	f.Add("SPECIFICATION UPDATE\nVendor: AMD\nFamily: 10h 00-0F\nReleased: 2009-03\n" +
+		"REVISION HISTORY\nRevision 1 (2009-03): Added 100, 100\nRevision 2 (2009-04): Added 100\n" +
+		"SUMMARY TABLE OF CHANGES\n100 | Withdrawn | gone\nx|y | No fix | pipe | title\n" +
+		"ERRATA\n\nID: 100\nTitle: t\nStatus: Withdrawn\n\nID: 100\nTitle: t2\n\n" +
+		"ID: x|y\nTitle: pipe | title\n\nEND OF DOCUMENT\n")
+	f.Add("SPECIFICATION UPDATE\nVendor: Intel\nGeneration: 7/8\nReleased: 2013-06\n" +
+		"Bogus header noise\nREVISION HISTORY\nnot a revision\n" +
+		"SUMMARY TABLE OF CHANGES\nmissing pipes here\nERRATA\n\n" +
+		"Title: field before erratum\nID: A\nTitle: wrapped line that goes on and on and " +
+		"on and on and on and on and on and on and on and on and on past the wrap width\n" +
+		"Title: duplicated\n\nEND OF DOCUMENT\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		doc1, _, err := Parse(input)
+		if err != nil {
+			return // rejected input; only panics are failures
+		}
+		text2 := Write(doc1, WriteOptions{})
+		doc2, _, err := Parse(text2)
+		if err != nil {
+			t.Fatalf("writer output rejected by parser: %v\ninput: %q\nrendered: %q", err, input, text2)
+		}
+		text3 := Write(doc2, WriteOptions{})
+		doc3, _, err := Parse(text3)
+		if err != nil {
+			t.Fatalf("second-round output rejected: %v\nrendered: %q", err, text3)
+		}
+		if !reflect.DeepEqual(doc2, doc3) {
+			t.Fatalf("parse/write not a fixed point after normalization:\nround1: %#v\nround2: %#v\ntext: %q",
+				doc2, doc3, text3)
+		}
+	})
+}

@@ -58,17 +58,24 @@ func (p *parser) diag(id, kind, msg string) {
 }
 
 // logicalLines joins wrapped continuation lines (indented by two spaces)
-// back into logical lines.
+// back into logical lines. Fragments are collected per logical line and
+// joined once at the end: appending to a growing string instead is
+// quadratic in the run length, which adversarial inputs (thousands of
+// consecutive continuation lines) turn into seconds of work.
 func logicalLines(text string) []string {
 	raw := strings.Split(text, "\n")
-	var out []string
+	var parts [][]string
 	for _, l := range raw {
 		trimmedRight := strings.TrimRight(l, " \t")
-		if strings.HasPrefix(l, "  ") && len(out) > 0 && strings.TrimSpace(l) != "" {
-			out[len(out)-1] += " " + strings.TrimSpace(trimmedRight)
+		if strings.HasPrefix(l, "  ") && len(parts) > 0 && strings.TrimSpace(l) != "" {
+			parts[len(parts)-1] = append(parts[len(parts)-1], strings.TrimSpace(trimmedRight))
 			continue
 		}
-		out = append(out, trimmedRight)
+		parts = append(parts, []string{trimmedRight})
+	}
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = strings.Join(p, " ")
 	}
 	return out
 }
@@ -374,6 +381,16 @@ func (p *parser) resolveAddedIn() {
 
 // crossCheckSummary verifies the summary table against the entries.
 func (p *parser) crossCheckSummary() {
+	// Titles per ID, precomputed: probing this map keeps the mismatch
+	// check linear where a rescan of all entries per mismatch would be
+	// quadratic on hostile documents.
+	titlesByID := map[string]map[string]bool{}
+	for _, e := range p.doc.Errata {
+		if titlesByID[e.ID] == nil {
+			titlesByID[e.ID] = map[string]bool{}
+		}
+		titlesByID[e.ID][e.Title] = true
+	}
 	seen := map[string]bool{}
 	for _, e := range p.doc.Errata {
 		seen[e.ID] = true
@@ -385,14 +402,7 @@ func (p *parser) crossCheckSummary() {
 		if title != e.Title {
 			// Reused names legitimately map one summary row per entry;
 			// only flag when no entry matches.
-			match := false
-			for _, other := range p.doc.Errata {
-				if other.ID == e.ID && other.Title == title {
-					match = true
-					break
-				}
-			}
-			if !match {
+			if !titlesByID[e.ID][title] {
 				p.diag(e.ID, "title-mismatch", "summary title differs from erratum title")
 			}
 		}

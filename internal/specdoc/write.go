@@ -58,10 +58,11 @@ func Write(d *core.Document, opts WriteOptions) string {
 
 	b.WriteString("SUMMARY TABLE OF CHANGES\n")
 	for _, e := range d.Errata {
-		writeWrapped(&b, fmt.Sprintf("%s | %s | %s", e.ID, e.Status, e.Title))
+		writeWrapped(&b, fmt.Sprintf("%s | %s | %s",
+			sanitizeCell(e.ID), summaryStatus(e.Status), e.Title))
 	}
 	for _, id := range d.Withdrawn {
-		writeWrapped(&b, fmt.Sprintf("%s | Withdrawn | Details removed.", id))
+		writeWrapped(&b, fmt.Sprintf("%s | Withdrawn | Details removed.", sanitizeCell(id)))
 	}
 	b.WriteString("\n")
 
@@ -79,6 +80,30 @@ func Write(d *core.Document, opts WriteOptions) string {
 	}
 	b.WriteString("END OF DOCUMENT\n")
 	return b.String()
+}
+
+// sanitizeCell makes a value safe for the ID and status columns of the
+// summary table, which the parser splits on "|". The title column needs
+// no escaping: it is the last column of a 3-way split, so embedded pipes
+// survive. Generated corpora never contain "|", so pipeline output is
+// unaffected.
+func sanitizeCell(s string) string {
+	return strings.ReplaceAll(s, "|", "/")
+}
+
+// summaryStatus renders the status column of a live entry. The literal
+// cell "Withdrawn" is reserved: the parser turns such rows into
+// Document.Withdrawn entries instead of live errata, so a live erratum
+// whose Status field happens to be "Withdrawn" must render differently
+// or the document would gain a phantom withdrawn row on every
+// write/parse round trip. The authoritative status remains the
+// "Status:" field in the ERRATA section.
+func summaryStatus(s string) string {
+	s = sanitizeCell(s)
+	if strings.Join(strings.Fields(s), " ") == "Withdrawn" {
+		return "Withdrawn (live entry)"
+	}
+	return s
 }
 
 // writeField renders one optional field; empty fields are omitted

@@ -1,0 +1,105 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fuzzSeedDB is a compact database covering every DTO field: both
+// vendors, revisions, withdrawn rows, disclosure dates, annotations
+// with concretes, MSRs and all boolean flags.
+func fuzzSeedDB(tb testing.TB) *core.Database {
+	tb.Helper()
+	db := core.NewDatabase()
+	docs := []*core.Document{
+		{
+			Key: "intel-01", Vendor: core.Intel, Label: "1", Reference: "REF-1",
+			Order: 0, GenIndex: 1,
+			Released:  time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC),
+			Withdrawn: []string{"GONE1"},
+			Revisions: []core.Revision{
+				{Number: 1, Date: time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC), Added: []string{"AAA001"}},
+				{Number: 2, Date: time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)},
+			},
+			Errata: []*core.Erratum{
+				{
+					DocKey: "intel-01", ID: "AAA001", Seq: 1, Key: "k1",
+					Title:       "Power state hang",
+					Description: "The core hangs.", Implication: "System hang.",
+					Workaround: "Disable C-states.", Status: "No fix",
+					WorkaroundCat: core.WorkaroundBIOS, Fix: core.FixDone,
+					AddedIn:   1,
+					Disclosed: time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC),
+					Ann: core.Annotation{
+						Triggers:          []core.Item{{Category: "Trg_POW_pwc", Concrete: "C6 entry"}},
+						Contexts:          []core.Item{{Category: "Ctx_PRV_vmg"}},
+						Effects:           []core.Item{{Category: "Eff_HNG_hng"}},
+						MSRs:              []string{"MCx_STATUS"},
+						ComplexConditions: true, TrivialTrigger: true, SimulationOnly: true,
+					},
+				},
+			},
+		},
+		{
+			Key: "amd-10h-00", Vendor: core.AMD, Label: "10h 00", Order: 0,
+			Released: time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC),
+			Errata: []*core.Erratum{
+				{DocKey: "amd-10h-00", ID: "100", Seq: 1, Title: "Fence issue"},
+			},
+		},
+	}
+	for _, d := range docs {
+		if err := db.Add(d); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := db.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return db
+}
+
+// FuzzDecode fuzzes the JSON decoder. Properties:
+//
+//  1. Decode never panics, whatever the bytes.
+//  2. If Decode accepts the bytes, the database re-encodes without
+//     error, the re-encoding decodes, and a second encode of that is
+//     byte-identical (deterministic canonical form).
+func FuzzDecode(f *testing.F) {
+	seed, err := Encode(fuzzSeedDB(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"documents":[]}`))
+	f.Add([]byte(`{"version":2,"documents":[]}`))
+	f.Add([]byte(`{"version":1,"documents":[{"key":"x","vendor":"Intel","released":"2010-01-01"}]}`))
+	f.Add([]byte(`{"version":1,"documents":[{"key":"x","vendor":"VIA","released":"2010-01-01"}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Decode(data)
+		if err != nil {
+			return // rejected input; only panics are failures
+		}
+		enc1, err := Encode(db)
+		if err != nil {
+			t.Fatalf("decoded database failed to encode: %v", err)
+		}
+		db2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("re-encoding rejected by decoder: %v\n%s", err, enc1)
+		}
+		enc2, err := Encode(db2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode not canonical: first %d bytes, second %d bytes", len(enc1), len(enc2))
+		}
+	})
+}

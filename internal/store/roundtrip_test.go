@@ -1,0 +1,147 @@
+package store
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestEncodeRoundTripSeeds is the codec property test over generated
+// corpora: for 20 seeds, Encode∘Decode is the identity on encoded
+// bytes — Encode(db), Encode(Decode(Encode(db))) and one further round
+// are byte-identical, so the canonical form is stable under arbitrarily
+// many store/load cycles.
+func TestEncodeRoundTripSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		gt, err := corpus.Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		enc1, err := Encode(gt.DB)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		db2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		enc2, err := Encode(db2)
+		if err != nil {
+			t.Fatalf("seed %d: re-encode: %v", seed, err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("seed %d: Encode(Decode(Encode(db))) differs: %d vs %d bytes",
+				seed, len(enc1), len(enc2))
+		}
+		db3, err := Decode(enc2)
+		if err != nil {
+			t.Fatalf("seed %d: second decode: %v", seed, err)
+		}
+		enc3, err := Encode(db3)
+		if err != nil {
+			t.Fatalf("seed %d: third encode: %v", seed, err)
+		}
+		if !bytes.Equal(enc2, enc3) {
+			t.Fatalf("seed %d: third round not byte-identical", seed)
+		}
+	}
+}
+
+// TestSaveLoadGzipAgreement proves the gzip and plain file paths carry
+// identical content: saving the same database both ways and loading
+// each back yields byte-identical re-encodings, and the gzip file is
+// actually compressed.
+func TestSaveLoadGzipAgreement(t *testing.T) {
+	dir := t.TempDir()
+	for _, seed := range []int64{1, 7, 19} {
+		gt, err := corpus.Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		plain := filepath.Join(dir, "db.json")
+		zipped := filepath.Join(dir, "db.json.gz")
+		if err := Save(gt.DB, plain); err != nil {
+			t.Fatalf("seed %d: save plain: %v", seed, err)
+		}
+		if err := Save(gt.DB, zipped); err != nil {
+			t.Fatalf("seed %d: save gzip: %v", seed, err)
+		}
+		fromPlain, err := Load(plain)
+		if err != nil {
+			t.Fatalf("seed %d: load plain: %v", seed, err)
+		}
+		fromZip, err := Load(zipped)
+		if err != nil {
+			t.Fatalf("seed %d: load gzip: %v", seed, err)
+		}
+		encPlain, err := Encode(fromPlain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encZip, err := Encode(fromZip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encPlain, encZip) {
+			t.Fatalf("seed %d: plain and gzip paths disagree", seed)
+		}
+		pi, err := os.Stat(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zi, err := os.Stat(zipped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zi.Size() >= pi.Size() {
+			t.Fatalf("seed %d: gzip file (%d) not smaller than plain (%d)", seed, zi.Size(), pi.Size())
+		}
+	}
+}
+
+// TestGoldenFormatV1 pins the exact FormatVersion 1 byte layout of a
+// handcrafted database. Any change to field names, omitempty behavior,
+// ordering or indentation breaks this test: bump FormatVersion and
+// regenerate deliberately with -update instead of silently changing the
+// released format.
+func TestGoldenFormatV1(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_v1.json")
+	got, err := Encode(fuzzSeedDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoded bytes differ from %s (%d vs %d bytes); run with -update only for a deliberate format change",
+			golden, len(got), len(want))
+	}
+	// The golden bytes must stay decodable and canonical.
+	db, err := Decode(want)
+	if err != nil {
+		t.Fatalf("golden file no longer decodes: %v", err)
+	}
+	re, err := Encode(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, want) {
+		t.Fatal("golden file is not in canonical form")
+	}
+}

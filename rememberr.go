@@ -26,12 +26,14 @@ package rememberr
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/annotate"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dedup"
+	"repro/internal/index"
 	"repro/internal/specdoc"
 	"repro/internal/taxonomy"
 	"repro/internal/textsim"
@@ -183,6 +185,7 @@ type BuildReport struct {
 type Database struct {
 	core   *core.Database
 	report *BuildReport
+	idx    atomic.Pointer[index.Index]
 }
 
 // Build runs the full pipeline: corpus generation, document rendering,
@@ -286,6 +289,22 @@ func uniformFractions(n int) []float64 {
 
 // Core exposes the underlying database for advanced use.
 func (db *Database) Core() *core.Database { return db.core }
+
+// BuildIndex builds the inverted-index query engine over the current
+// database contents and returns it. Afterwards, Query terminal
+// operations compile to postings-list intersections instead of scanning
+// every entry; results are identical on both paths. The index is a
+// snapshot: call BuildIndex again after mutating the underlying core
+// database. Safe for concurrent use with Query execution.
+func (db *Database) BuildIndex() *index.Index {
+	ix := index.Build(db.core)
+	db.idx.Store(ix)
+	return ix
+}
+
+// Index returns the inverted index built by BuildIndex, or nil when
+// queries run on the closure-scan path.
+func (db *Database) Index() *index.Index { return db.idx.Load() }
 
 // Report returns the build report, or nil for loaded databases.
 func (db *Database) Report() *BuildReport { return db.report }

@@ -3,7 +3,10 @@ package rememberr
 import (
 	"fmt"
 	"html"
+	"strconv"
 	"strings"
+
+	"repro/internal/report"
 )
 
 // HTMLReport renders the complete reproduction — corpus statistics,
@@ -38,13 +41,14 @@ Errata for Design Testing and Validation</em> (Solt, Jattke, Razavi; MICRO 2022)
 
 	// Corpus statistics.
 	st := db.Stats()
-	b.WriteString("<h2>Corpus</h2>\n<table><tr><th></th><th>Total</th><th>Unique</th><th>Documents</th></tr>\n")
-	fmt.Fprintf(&b, "<tr><td>Intel</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
-		st.IntelTotal, st.IntelUnique, st.IntelDocs)
-	fmt.Fprintf(&b, "<tr><td>AMD</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
-		st.AMDTotal, st.AMDUnique, st.AMDDocs)
-	fmt.Fprintf(&b, "<tr><td>All</td><td>%d</td><td>%d</td><td>%d</td></tr>\n</table>\n",
-		st.Total, st.Unique, st.Documents)
+	b.WriteString("<h2>Corpus</h2>\n")
+	b.WriteString(report.HTMLTable(
+		[]string{"", "Total", "Unique", "Documents"},
+		[][]string{
+			{"Intel", strconv.Itoa(st.IntelTotal), strconv.Itoa(st.IntelUnique), strconv.Itoa(st.IntelDocs)},
+			{"AMD", strconv.Itoa(st.AMDTotal), strconv.Itoa(st.AMDUnique), strconv.Itoa(st.AMDDocs)},
+			{"All", strconv.Itoa(st.Total), strconv.Itoa(st.Unique), strconv.Itoa(st.Documents)},
+		}))
 
 	// Observations.
 	b.WriteString("<h2>Observations O1–O13</h2>\n<ul class=\"checks\">\n")
