@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race bench bench-classify fuzz-short cover
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Classify matching-kernel benchmarks (naive / prefilter / memo /
+# prefilter+memo); emits BENCH_classify.json for the perf trajectory.
+bench-classify:
+	./scripts/bench_classify.sh
+
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzParseDocument -fuzztime 20s -fuzzminimizetime 1x ./internal/specdoc/
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 20s -fuzzminimizetime 1x ./internal/store/
+	$(GO) test -run '^$$' -fuzz FuzzClassifyEquivalence -fuzztime 20s -fuzzminimizetime 1x ./internal/classify/
+
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
+	$(GO) tool cover -func=cover.out | tail -1

@@ -495,6 +495,35 @@ func BenchmarkAblationDedupLSH(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationClassifyKernel ablates the two layers of the
+// classify matching kernel — the Aho-Corasick literal prefilter and the
+// per-clause memo cache — on the built database's unique errata. All
+// four configurations produce bit-identical reports (enforced by the
+// classify equivalence tests); this grid measures what each layer buys.
+func BenchmarkAblationClassifyKernel(b *testing.B) {
+	db := benchDB(b)
+	errata := db.Unique()
+	grid := []struct {
+		name string
+		cfg  classify.Config
+	}{
+		{"naive", classify.Config{}},
+		{"prefilter", classify.Config{Prefilter: true}},
+		{"memo", classify.Config{Memo: true}},
+		{"prefilter-memo", classify.Config{Prefilter: true, Memo: true}},
+	}
+	for _, g := range grid {
+		b.Run("impl="+g.name, func(b *testing.B) {
+			engine := classify.NewEngineConfig(g.cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.Classify(errata[i%len(errata)])
+			}
+		})
+	}
+}
+
 // BenchmarkAblationInterpolation compares disclosure inference with and
 // without sequential-number interpolation.
 func BenchmarkAblationInterpolation(b *testing.B) {

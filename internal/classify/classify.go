@@ -110,12 +110,23 @@ func (r *Report) IncludedCategories(scheme *taxonomy.Scheme) []string {
 	return scheme.SortCategoryIDs(out)
 }
 
+// The extractor pattern sources are named so the flags kernel
+// (kernel.go) can extract required literals from the exact source each
+// regex was compiled from.
+const (
+	complexSrc = `(?i)complex set of .*conditions|highly specific and detailed set`
+	trivialSrc = `(?i)normal operation with ordinary load and store|intense workloads|routine execution`
+	simOnlySrc = `(?i)only been observed in simulation`
+	msrObsSrc  = `observed in the ([A-Za-z0-9_]+) register`
+	msrRawSrc  = `\bMSR 0x[0-9A-Fa-f_]+\b`
+)
+
 var (
-	complexRe = regexp.MustCompile(`(?i)complex set of .*conditions|highly specific and detailed set`)
-	trivialRe = regexp.MustCompile(`(?i)normal operation with ordinary load and store|intense workloads|routine execution`)
-	msrObsRe  = regexp.MustCompile(`observed in the ([A-Za-z0-9_]+) register`)
-	simOnlyRe = regexp.MustCompile(`(?i)only been observed in simulation`)
-	msrRawRe  = regexp.MustCompile(`\bMSR 0x[0-9A-Fa-f_]+\b`)
+	complexRe = regexp.MustCompile(complexSrc)
+	trivialRe = regexp.MustCompile(trivialSrc)
+	msrObsRe  = regexp.MustCompile(msrObsSrc)
+	simOnlyRe = regexp.MustCompile(simOnlySrc)
+	msrRawRe  = regexp.MustCompile(msrRawSrc)
 )
 
 // knownMSRVocabulary is the register vocabulary of Figure 19; tokens
@@ -132,11 +143,11 @@ var knownMSRVocabulary = map[string]bool{
 // Classify runs the rule engine over one erratum.
 func (e *Engine) Classify(err *core.Erratum) *Report {
 	r := &Report{
-		Decisions: make(map[string]Decision, e.scheme.NumCategories(-1)),
+		Decisions: make(map[string]Decision, len(e.catIDs)),
 		Concrete:  make(map[string]string),
 	}
-	for _, cat := range e.scheme.AllCategories() {
-		r.Decisions[cat.ID] = Exclude
+	for _, id := range e.catIDs {
+		r.Decisions[id] = Exclude
 	}
 
 	segments := e.segment(err)
@@ -146,11 +157,13 @@ func (e *Engine) Classify(err *core.Erratum) *Report {
 		if seg.Advisory {
 			// Advisory evidence never auto-includes; it only surfaces
 			// categories for review.
-			for _, cat := range append(append([]string(nil), seg.Strong...), seg.Weak...) {
-				if r.Decisions[cat] == Exclude {
-					r.Decisions[cat] = Undecided
-					if _, ok := r.Concrete[cat]; !ok {
-						r.Concrete[cat] = seg.Text
+			for _, cats := range [2][]string{seg.Strong, seg.Weak} {
+				for _, cat := range cats {
+					if r.Decisions[cat] == Exclude {
+						r.Decisions[cat] = Undecided
+						if _, ok := r.Concrete[cat]; !ok {
+							r.Concrete[cat] = seg.Text
+						}
 					}
 				}
 			}
@@ -174,12 +187,14 @@ func (e *Engine) Classify(err *core.Erratum) *Report {
 		default:
 			// No strong match, or conflicting strong matches: every
 			// surfaced category goes to the humans.
-			for _, cat := range append(append([]string(nil), seg.Strong...), seg.Weak...) {
-				if r.Decisions[cat] != Include {
-					r.Decisions[cat] = Undecided
-				}
-				if _, ok := r.Concrete[cat]; !ok {
-					r.Concrete[cat] = seg.Text
+			for _, cats := range [2][]string{seg.Strong, seg.Weak} {
+				for _, cat := range cats {
+					if r.Decisions[cat] != Include {
+						r.Decisions[cat] = Undecided
+					}
+					if _, ok := r.Concrete[cat]; !ok {
+						r.Concrete[cat] = seg.Text
+					}
 				}
 			}
 		}
@@ -187,18 +202,32 @@ func (e *Engine) Classify(err *core.Erratum) *Report {
 	r.Segments = segments
 
 	full := err.Description + " " + err.Implication
-	r.Complex = complexRe.MatchString(full)
-	r.Trivial = trivialRe.MatchString(err.Description)
-	r.SimulationOnly = simOnlyRe.MatchString(full)
+	// One automaton scan over the full text rules out extractors whose
+	// required literal is absent; only the survivors run their regexes.
+	// hit bits are a superset of the true matches, so skipping on a
+	// cleared bit cannot change any result. (The Trivial and MSR
+	// extractors scan only the description, for which candidacy on the
+	// longer text is still a sound over-approximation.)
+	hit := [5]bool{true, true, true, true, true}
+	if e.cfg.Prefilter {
+		hit = e.flagCandidates(full)
+	}
+	r.Complex = hit[idxComplex] && complexRe.MatchString(full)
+	r.Trivial = hit[idxTrivial] && trivialRe.MatchString(err.Description)
+	r.SimulationOnly = hit[idxSimOnly] && simOnlyRe.MatchString(full)
 
-	for _, m := range msrObsRe.FindAllStringSubmatch(err.Description, -1) {
-		r.MSRs = append(r.MSRs, m[1])
-		if !knownMSRVocabulary[m[1]] {
-			r.SuspiciousMSRs = append(r.SuspiciousMSRs, m[1])
+	if hit[idxMSRObs] {
+		for _, m := range msrObsRe.FindAllStringSubmatch(err.Description, -1) {
+			r.MSRs = append(r.MSRs, m[1])
+			if !knownMSRVocabulary[m[1]] {
+				r.SuspiciousMSRs = append(r.SuspiciousMSRs, m[1])
+			}
 		}
 	}
-	for _, m := range msrRawRe.FindAllString(full, -1) {
-		r.SuspiciousMSRs = append(r.SuspiciousMSRs, m)
+	if hit[idxMSRRaw] {
+		for _, m := range msrRawRe.FindAllString(full, -1) {
+			r.SuspiciousMSRs = append(r.SuspiciousMSRs, m)
+		}
 	}
 
 	r.WorkaroundCat = ClassifyWorkaround(err.Workaround)
@@ -234,8 +263,7 @@ func (e *Engine) segment(err *core.Erratum) []Segment {
 		case strings.HasPrefix(sentence, "The affected state may be observed"),
 			strings.HasPrefix(sentence, "The erroneous value is latched"):
 			// MSR sentences are handled by the extractors.
-		case complexRe.MatchString(sentence), trivialRe.MatchString(sentence),
-			simOnlyRe.MatchString(sentence):
+		case e.isFlagSentence(sentence):
 			// Flag sentences are handled by the extractors.
 		default:
 			// Unknown sentence shape: scan as advisory effect evidence.

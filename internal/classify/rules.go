@@ -13,6 +13,7 @@ package classify
 
 import (
 	"regexp"
+	"sync"
 
 	"repro/internal/taxonomy"
 )
@@ -236,24 +237,25 @@ var effectRules = []ruleSpec{
 		[]string{`\bpower\b`}},
 }
 
-// Engine is a compiled rule engine over a taxonomy scheme.
-type Engine struct {
-	scheme *taxonomy.Scheme
-	rules  map[taxonomy.Kind][]rule
+// baseSpecs maps each kind to its rule specifications.
+var baseSpecs = map[taxonomy.Kind][]ruleSpec{
+	taxonomy.Trigger: triggerRules,
+	taxonomy.Context: contextRules,
+	taxonomy.Effect:  effectRules,
 }
 
-// NewEngine compiles the base rule set against the base scheme.
-func NewEngine() *Engine {
-	e := &Engine{
-		scheme: taxonomy.Base(),
-		rules:  make(map[taxonomy.Kind][]rule),
-	}
-	compile := func(kind taxonomy.Kind, specs []ruleSpec) {
+// baseRules holds the compiled base rule set, shared by every engine:
+// constructing an engine must not recompile the ~200 base patterns.
+// The slices and regexes are immutable after package initialization.
+var baseRules = func() map[taxonomy.Kind][]rule {
+	scheme := taxonomy.Base()
+	rules := make(map[taxonomy.Kind][]rule, len(baseSpecs))
+	for kind, specs := range baseSpecs {
 		for _, s := range specs {
-			if _, ok := e.scheme.Category(s.category); !ok {
+			if _, ok := scheme.Category(s.category); !ok {
 				panic("classify: rule for unknown category " + s.category)
 			}
-			e.rules[kind] = append(e.rules[kind], rule{
+			rules[kind] = append(rules[kind], rule{
 				category: s.category,
 				kind:     kind,
 				strong:   re(s.strong),
@@ -261,9 +263,80 @@ func NewEngine() *Engine {
 			})
 		}
 	}
-	compile(taxonomy.Trigger, triggerRules)
-	compile(taxonomy.Context, contextRules)
-	compile(taxonomy.Effect, effectRules)
+	return rules
+}()
+
+// baseKernels holds the multi-pattern matching kernels, one per kind,
+// built once over the compiled base rules (see kernel.go).
+var baseKernels = func() map[taxonomy.Kind]*kindKernel {
+	kernels := make(map[taxonomy.Kind]*kindKernel, len(baseSpecs))
+	for kind, specs := range baseSpecs {
+		kernels[kind] = buildKindKernel(baseRules[kind], specs)
+	}
+	return kernels
+}()
+
+// Engine is a compiled rule engine over a taxonomy scheme.
+type Engine struct {
+	scheme  *taxonomy.Scheme
+	rules   map[taxonomy.Kind][]rule
+	kernels map[taxonomy.Kind]*kindKernel
+	// catIDs caches the scheme's category ids so report initialization
+	// does not rebuild the category slice per erratum.
+	catIDs  []string
+	cfg     Config
+	memo    [numKinds]*memoCache // indexed by int(kind); nil when Memo off
+	scratch sync.Pool            // *matchScratch
+}
+
+// Config selects the matching strategy. The zero value is the naive
+// reference path: every pattern of every rule is evaluated against
+// every segment. All configurations produce bit-identical Reports; the
+// flags only trade build work for speed, and exist separately so the
+// equivalence tests and the ablation benchmarks can isolate each layer.
+type Config struct {
+	// Prefilter routes segment matching through the Aho-Corasick
+	// literal prefilter (internal/match): each segment is folded and
+	// scanned once, and only the surviving candidate patterns run their
+	// regexes.
+	Prefilter bool
+	// Memo caches per-clause match vectors in a bounded map, exploiting
+	// the heavy clause reuse of templated errata.
+	Memo bool
+}
+
+// NewEngine returns an engine over the base rule set with the full
+// matching kernel (prefilter + memoization) enabled.
+func NewEngine() *Engine {
+	return NewEngineConfig(Config{Prefilter: true, Memo: true})
+}
+
+// NewEngineConfig returns an engine over the base rule set with the
+// given matching strategy. Engines are safe for concurrent use.
+func NewEngineConfig(cfg Config) *Engine {
+	e := &Engine{
+		scheme:  taxonomy.Base(),
+		rules:   baseRules,
+		kernels: baseKernels,
+		cfg:     cfg,
+	}
+	for _, cat := range e.scheme.AllCategories() {
+		e.catIDs = append(e.catIDs, cat.ID)
+	}
+	if cfg.Memo {
+		for i := range e.memo {
+			e.memo[i] = newMemoCache(memoMaxEntries)
+		}
+	}
+	maxRules := 0
+	for _, rules := range e.rules {
+		if len(rules) > maxRules {
+			maxRules = len(rules)
+		}
+	}
+	e.scratch.New = func() any {
+		return &matchScratch{rules: make([]uint8, maxRules), cands: make([]int, 0, 64)}
+	}
 	return e
 }
 
@@ -271,8 +344,30 @@ func NewEngine() *Engine {
 func (e *Engine) Scheme() *taxonomy.Scheme { return e.scheme }
 
 // matchSegment evaluates every rule of a kind against one text segment
-// and reports the strongly and weakly matched categories.
+// and reports the strongly and weakly matched categories. The returned
+// slices may be shared between reports (they can come from the memo
+// cache) and must be treated as read-only.
 func (e *Engine) matchSegment(kind taxonomy.Kind, text string) (strong, weak []string) {
+	if e.cfg.Memo {
+		if s, w, ok := e.memo[kind].get(text); ok {
+			return s, w
+		}
+	}
+	if e.cfg.Prefilter {
+		strong, weak = e.matchKernel(kind, text)
+	} else {
+		strong, weak = e.matchNaive(kind, text)
+	}
+	if e.cfg.Memo {
+		e.memo[kind].put(text, strong, weak)
+	}
+	return strong, weak
+}
+
+// matchNaive is the reference path: every pattern of every rule runs
+// against the segment. The kernel path must reproduce its output
+// exactly.
+func (e *Engine) matchNaive(kind taxonomy.Kind, text string) (strong, weak []string) {
 	for _, r := range e.rules[kind] {
 		matched := false
 		for _, p := range r.strong {

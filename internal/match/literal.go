@@ -1,0 +1,98 @@
+package match
+
+import (
+	"regexp/syntax"
+	"unicode/utf8"
+)
+
+// maxAlternatives bounds the number of literals one pattern may
+// contribute: a pattern whose alternation fans out wider than this goes
+// to the always-confirm path instead of bloating the automaton.
+const maxAlternatives = 16
+
+// requiredLiterals extracts a set of folded literals such that every
+// match of the pattern is guaranteed to contain at least one of them.
+// minRunes is the minimum useful literal length; shorter literals are
+// rejected as unselective. ok is false when no such set exists (the
+// pattern must then always be confirmed).
+func requiredLiterals(pattern string, minRunes int) (lits []string, ok bool) {
+	re, err := syntax.Parse(pattern, syntax.Perl)
+	if err != nil {
+		return nil, false
+	}
+	return literalAlts(re, minRunes)
+}
+
+// literalAlts walks the parse tree. The invariant is soundness: when ok
+// is true, any text matched by re contains at least one returned
+// literal in folded form. False negatives (ok=false for a pattern that
+// does have a required literal) only cost performance, never
+// correctness.
+func literalAlts(re *syntax.Regexp, minRunes int) ([]string, bool) {
+	switch re.Op {
+	case syntax.OpLiteral:
+		if len(re.Rune) < minRunes {
+			return nil, false
+		}
+		// Fold the literal with the same canonicalization Fold applies
+		// to the scanned text; this is exact for (?i) patterns (same
+		// fold orbits) and sound for case-sensitive ones (folding can
+		// only add candidate positions, which the regex then rejects).
+		runes := make([]rune, len(re.Rune))
+		for i, r := range re.Rune {
+			runes[i] = foldRune(r)
+		}
+		return []string{string(runes)}, true
+	case syntax.OpConcat:
+		// Any required literal of any component is required for the
+		// whole concatenation; pick the most selective component (the
+		// one whose shortest alternative is longest).
+		var best []string
+		for _, sub := range re.Sub {
+			lits, ok := literalAlts(sub, minRunes)
+			if ok && (best == nil || shortest(lits) > shortest(best)) {
+				best = lits
+			}
+		}
+		return best, best != nil
+	case syntax.OpAlternate:
+		// Every branch must contribute, since a match may come from any
+		// branch.
+		var all []string
+		for _, sub := range re.Sub {
+			lits, ok := literalAlts(sub, minRunes)
+			if !ok {
+				return nil, false
+			}
+			all = append(all, lits...)
+			if len(all) > maxAlternatives {
+				return nil, false
+			}
+		}
+		return all, true
+	case syntax.OpCapture:
+		return literalAlts(re.Sub[0], minRunes)
+	case syntax.OpPlus:
+		// x+ contains at least one x.
+		return literalAlts(re.Sub[0], minRunes)
+	case syntax.OpRepeat:
+		if re.Min >= 1 {
+			return literalAlts(re.Sub[0], minRunes)
+		}
+		return nil, false
+	default:
+		// Star, quest, char classes, any-char, anchors, word
+		// boundaries: nothing is guaranteed to occur.
+		return nil, false
+	}
+}
+
+func shortest(lits []string) int {
+	min := -1
+	for _, l := range lits {
+		if n := utf8.RuneCountInString(l); min < 0 || n < min {
+			min = n
+		}
+	}
+	return min
+}

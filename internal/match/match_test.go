@@ -1,0 +1,221 @@
+package match
+
+import (
+	"math/rand"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestFoldASCII(t *testing.T) {
+	if got := Fold("Cache Line BOUNDARY"); got != "cache line boundary" {
+		t.Errorf("Fold = %q", got)
+	}
+	// Unchanged input must come back without modification.
+	s := "already folded text 0x1f"
+	if got := Fold(s); got != s {
+		t.Errorf("Fold(%q) = %q", s, got)
+	}
+}
+
+// TestFoldMatchesRegexpSemantics is the load-bearing property: two
+// strings fold equal iff Go's (?i) regex treats them as equal literals.
+// The Kelvin sign and long s are the classic traps — both match ASCII
+// letters under (?i) but survive strings.ToLower unchanged or map
+// differently.
+func TestFoldMatchesRegexpSemantics(t *testing.T) {
+	cases := []struct{ pattern, text string }{
+		{"kelvin", "Kelvin"},       // U+212A KELVIN SIGN folds with k
+		{"straddles", "ſtraddles"}, // U+017F LONG S folds with s
+		{"hang", "HANG"},
+		{"schedule", "ſchedule"},
+	}
+	for _, c := range cases {
+		re := regexp.MustCompile(`(?i)` + c.pattern)
+		if !re.MatchString(c.text) {
+			t.Fatalf("(?i)%s should match %q", c.pattern, c.text)
+		}
+		if !strings.Contains(Fold(c.text), Fold(c.pattern)) {
+			t.Errorf("Fold(%q)=%q does not contain Fold(%q)=%q, but the regex matches",
+				c.text, Fold(c.text), c.pattern, Fold(c.pattern))
+		}
+	}
+}
+
+func TestRequiredLiterals(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    []string
+		ok      bool
+	}{
+		{`(?i)cache line boundary`, []string{"cache line boundary"}, true},
+		{`(?i)\bstraddles\b`, []string{"straddles"}, true},
+		{`(?i)\bfaults?\b`, []string{"fault"}, true},
+		{`(?i)\bspeculat`, []string{"speculat"}, true},
+		{`(?i)complex set of .*conditions|highly specific`, []string{"complex set of ", "highly specific"}, true},
+		{`(?i)\bx\b`, nil, false}, // literal too short
+		{`(?i)[0-9]+ errors`, []string{" errors"}, true},
+		{`(?i)(abc)+`, []string{"abc"}, true},
+		{`(?i)(abc)*def`, []string{"def"}, true},
+		{`(?i)(abc)?`, nil, false}, // nothing required
+		{`[A-Za-z0-9_]+`, nil, false},
+	}
+	for _, c := range cases {
+		got, ok := requiredLiterals(c.pattern, DefaultMinLiteral)
+		if ok != c.ok {
+			t.Errorf("requiredLiterals(%q) ok = %v, want %v", c.pattern, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("requiredLiterals(%q) = %q, want %q", c.pattern, got, c.want)
+		}
+	}
+}
+
+// requiredLiterals alternation wider than maxAlternatives falls back to
+// the slow path instead of failing.
+func TestAlternationFanoutCap(t *testing.T) {
+	// Branches share no prefix, so the parser cannot factor them into a
+	// single required literal.
+	var branches []string
+	for i := 0; i < maxAlternatives+1; i++ {
+		branches = append(branches, strings.Repeat(string(rune('a'+i)), 4))
+	}
+	if _, ok := requiredLiterals("(?i)"+strings.Join(branches, "|"), DefaultMinLiteral); ok {
+		t.Error("fanout above the cap should reject literal extraction")
+	}
+}
+
+func TestAutomatonSuffixOutputs(t *testing.T) {
+	// Classic he/she/his/hers overlap: "ushers" contains she, he, hers.
+	k, err := Compile([]string{`he`, `she`, `his`, `hers`}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.Match("ushers", nil)
+	if want := []int{0, 1, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Match(ushers) = %v, want %v", got, want)
+	}
+}
+
+func TestKernelAlwaysRunPath(t *testing.T) {
+	k, err := Compile([]string{`(?i)\bx\b`, `(?i)cache line`}, DefaultMinLiteral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := k.Stats()
+	if st.AlwaysRun != 1 || st.Prefiltered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := k.Match("an x marks the spot", nil); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("Match = %v", got)
+	}
+	if got := k.Match("a CACHE line boundary", nil); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("Match = %v", got)
+	}
+	if got := k.Match("nothing here", nil); len(got) != 0 {
+		t.Errorf("Match = %v, want empty", got)
+	}
+}
+
+func TestCompileRejectsBadPattern(t *testing.T) {
+	if _, err := Compile([]string{`(`}, 0); err == nil {
+		t.Error("Compile should reject invalid patterns")
+	}
+	if _, err := New(nil, []string{"x"}, 0); err == nil {
+		t.Error("New should reject mismatched lengths")
+	}
+}
+
+// TestKernelEqualsNaiveRandomized is the kernel's own differential
+// test: on random texts assembled from pattern fragments and noise,
+// Match must return exactly the ids a full regex loop returns.
+func TestKernelEqualsNaiveRandomized(t *testing.T) {
+	sources := []string{
+		`(?i)cache line boundary`,
+		`(?i)\bstraddles\b`,
+		`(?i)page boundary`,
+		`(?i)\bfaults?\b`,
+		`(?i)machine check exception is being delivered`,
+		`(?i)\bmca\b`,
+		`(?i)c6 power state|package c-state`,
+		`(?i)\bqpi\b`,
+		`(?i)\bx\b`, // always-run
+		`(?i)read-modify-write`,
+	}
+	k, err := Compile(sources, DefaultMinLiteral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{
+		"cache", "line", "boundary", "straddles", "a", "page", "fault", "faults",
+		"MCA", "machine", "check", "x", "c6", "power", "state", "QPI",
+		"read-modify-write", "noise", "the", "K", "ſtraddles", "Straddles",
+	}
+	rng := rand.New(rand.NewSource(42))
+	var buf []int
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(12)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[rng.Intn(len(words))]
+		}
+		text := strings.Join(parts, " ")
+		var want []int
+		for id, src := range sources {
+			if regexp.MustCompile(src).MatchString(text) {
+				want = append(want, id)
+			}
+		}
+		buf = k.Match(text, buf)
+		if !reflect.DeepEqual(append([]int(nil), buf...), want) {
+			t.Fatalf("text %q: kernel %v, naive %v", text, buf, want)
+		}
+	}
+}
+
+func TestKernelConcurrent(t *testing.T) {
+	k, err := Compile([]string{`(?i)cache line`, `(?i)\bhang\b`, `(?i)page boundary`}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{
+		"the processor may hang",
+		"an access that straddles a cache line",
+		"crosses a page boundary",
+		"nothing relevant",
+	}
+	want := make([][]int, len(texts))
+	for i, s := range texts {
+		want[i] = k.Match(s, nil)
+	}
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- true }()
+			var buf []int
+			for i := 0; i < 200; i++ {
+				j := i % len(texts)
+				buf = k.Match(texts[j], buf)
+				if !reflect.DeepEqual(append([]int(nil), buf...), wantOrNil(want[j])) {
+					t.Errorf("concurrent mismatch on %q", texts[j])
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func wantOrNil(v []int) []int {
+	if len(v) == 0 {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Runs the classify matching-kernel benchmarks and emits
+# BENCH_classify.json, one record per sub-benchmark, to seed the perf
+# trajectory across PRs. Usage:
+#
+#   scripts/bench_classify.sh            # 1 run per variant
+#   COUNT=5 scripts/bench_classify.sh    # benchstat-grade sample count
+#
+# The raw `go test` output is echoed to stderr so it can be piped into
+# benchstat directly.
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-1}"
+OUT="${OUT:-BENCH_classify.json}"
+
+go test -run '^$' -bench '^BenchmarkClassifyEngine$|^BenchmarkClassifyEngineColdMemo$|^BenchmarkNewEngine$' \
+	-benchmem -count "$COUNT" ./internal/classify/ |
+	tee /dev/stderr |
+	awk -v count="$COUNT" '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+		iters = $2
+		ns = $3
+		bytes = ""
+		allocs = ""
+		for (i = 4; i <= NF; i++) {
+			if ($(i) == "B/op") bytes = $(i - 1)
+			if ($(i) == "allocs/op") allocs = $(i - 1)
+		}
+		if (n++) printf ",\n"
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+		if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+		if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+		printf "}"
+	}
+	END {
+		print ""
+	}' |
+	{
+		printf '{\n  "suite": "classify-kernel",\n  "count": %s,\n  "benchmarks": [\n' "$COUNT"
+		cat
+		printf '  ]\n}\n'
+	} >"$OUT"
+
+echo "wrote $OUT" >&2
