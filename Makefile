@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-classify fuzz-short cover
+.PHONY: build test race bench bench-classify check-metrics fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,10 @@ bench:
 # prefilter+memo); emits BENCH_classify.json for the perf trajectory.
 bench-classify:
 	./scripts/bench_classify.sh
+
+# End-to-end /metrics exposition check against a live errserve.
+check-metrics:
+	./scripts/check_metrics.sh
 
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzParseDocument -fuzztime 20s -fuzzminimizetime 1x ./internal/specdoc/

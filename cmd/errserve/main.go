@@ -2,17 +2,24 @@
 //
 // Usage:
 //
-//	errserve [-db FILE | -seed N] [-addr :8372] [-cache N] [-timeout D]
+//	errserve [-db FILE | -seed N] [-addr :8372] [-cache N] [-timeout D] [-pprof]
 //
 // The database is either loaded from a previously saved JSON file
 // (".gz" supported, see 'rememberr build') or built from the synthetic
 // corpus with the given seed. The server answers JSON on:
 //
-//	GET /errata        filtered queries (?vendor=Intel&category=...)
-//	GET /errata/{key}  all occurrences of one deduplicated erratum
-//	GET /stats         corpus statistics
-//	GET /healthz       liveness probe
-//	GET /metrics       request counters and cache statistics
+//	GET /v1/errata        filtered queries (?vendor=Intel&category=...)
+//	GET /v1/errata/{key}  all occurrences of one deduplicated erratum
+//	GET /v1/stats         corpus statistics
+//	GET /v1/metrics.json  JSON snapshot of the server's instruments
+//	GET /healthz          liveness probe
+//	GET /metrics          Prometheus text exposition
+//
+// Unversioned /errata, /errata/{key} and /stats answer 308 redirects
+// to the /v1 paths. One obs registry is shared between the build
+// pipeline and the server, so a post-build scrape of /metrics includes
+// build-stage timings and classifier counters alongside the HTTP
+// metrics. -pprof additionally mounts net/http/pprof on /debug/pprof/.
 //
 // It shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
@@ -39,32 +46,37 @@ func main() {
 	par := fs.Int("parallelism", 0, "pipeline worker goroutines (0 = all CPUs, 1 = sequential)")
 	cacheSize := fs.Int("cache", 256, "query result cache capacity (negative disables)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request handler timeout")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof on /debug/pprof/")
 	fs.Parse(os.Args[1:])
 
-	if err := run(*addr, *dbFile, *seed, *par, *cacheSize, *timeout); err != nil {
+	if err := run(*addr, *dbFile, *seed, *par, *cacheSize, *timeout, *enablePprof); err != nil {
 		fmt.Fprintln(os.Stderr, "errserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbFile string, seed int64, par, cacheSize int, timeout time.Duration) error {
+func run(addr, dbFile string, seed int64, par, cacheSize int, timeout time.Duration, enablePprof bool) error {
+	reg := rememberr.NewRegistry()
 	var db *rememberr.Database
 	var err error
 	if dbFile != "" {
 		db, err = rememberr.Load(dbFile)
 	} else {
-		opts := rememberr.DefaultBuildOptions()
-		opts.Seed = seed
-		opts.Parallelism = par
-		db, _, err = rememberr.Build(opts)
+		db, _, err = rememberr.Build(
+			rememberr.WithSeed(seed),
+			rememberr.WithParallelism(par),
+			rememberr.WithObservability(reg),
+		)
 	}
 	if err != nil {
 		return err
 	}
 
 	srv := serve.New(db.Core(), serve.Options{
-		CacheSize:      cacheSize,
-		RequestTimeout: timeout,
+		CacheSize:       cacheSize,
+		RequestTimeout:  timeout,
+		Observability:   reg,
+		EnableProfiling: enablePprof,
 	})
 	st := db.Stats()
 	fmt.Printf("serving %d errata (%d unique) on %s\n", st.Total, st.Unique, addr)

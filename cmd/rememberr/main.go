@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rememberr build   [-seed N] [-o db.json]         build and save the database
+//	rememberr build   [-seed N] [-o db.json] [-trace]  build and save the database
 //	rememberr stats   [-seed N | -db F]              print corpus statistics
 //	rememberr experiment <id>|all|ext [-csv-dir D] [-svg-dir D]
 //	rememberr list                                   list experiment identifiers
@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	rememberr "repro"
 	"repro/internal/store"
@@ -125,13 +126,14 @@ func cmdBuild(args []string) error {
 	out := fs.String("o", "rememberr.json", "output file")
 	seed := fs.Int64("seed", 1, "corpus generator seed")
 	par := fs.Int("parallelism", 0, "pipeline worker goroutines (0 = all CPUs, 1 = sequential)")
+	trace := fs.Bool("trace", false, "print the per-stage build timing tree")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := rememberr.DefaultBuildOptions()
-	opts.Seed = *seed
-	opts.Parallelism = *par
-	db, rep, err := rememberr.Build(opts)
+	db, rep, err := rememberr.Build(
+		rememberr.WithSeed(*seed),
+		rememberr.WithParallelism(*par),
+	)
 	if err != nil {
 		return err
 	}
@@ -143,7 +145,23 @@ func cmdBuild(args []string) error {
 	fmt.Printf("parser diagnostics: %d; confirmed duplicate pairs: %d; human decisions: %d\n",
 		len(rep.Diagnostics), rep.Dedup.ConfirmedPairs, rep.Annotation.HumanDecisions)
 	fmt.Printf("saved to %s\n", *out)
+	if *trace && rep.Trace != nil {
+		fmt.Println("\nbuild stages:")
+		printTrace(rep.Trace, 1)
+	}
 	return nil
+}
+
+// printTrace renders one span and its children as an indented tree.
+func printTrace(sp *rememberr.TraceSpan, depth int) {
+	fmt.Printf("%*s%-10s %12s", depth*2, "", sp.Name, time.Duration(sp.DurationNS).Round(time.Microsecond))
+	if sp.Items > 0 {
+		fmt.Printf("  (%d items)", sp.Items)
+	}
+	fmt.Println()
+	for _, c := range sp.Children {
+		printTrace(c, depth+1)
+	}
 }
 
 func cmdStats(args []string) error {

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/taxonomy"
 )
 
@@ -52,6 +53,10 @@ type Options struct {
 	// regex stage is embarrassingly parallel; the annotator simulation
 	// stays sequential for determinism). 0 selects GOMAXPROCS.
 	Workers int
+	// Trace, when non-nil, receives child spans for the stage's phases
+	// (regex classification, the protocol simulation, annotation
+	// propagation). Tracing never affects results.
+	Trace *obs.Span
 }
 
 // DefaultOptions returns the calibration used for the paper figures.
@@ -132,10 +137,15 @@ func Run(db *core.Database, engine *classify.Engine, truth Truth, opts Options) 
 	// pipeline cost and is embarrassingly parallel; the reports are
 	// deterministic per erratum, so parallelism does not affect the
 	// result.
+	csp := opts.Trace.StartChild("classify")
+	csp.SetItems(len(uniques))
 	reports := classifyAll(engine, uniques, opts.Workers)
 	for _, rep := range reports {
 		res.FilterStats.Accumulate(rep)
 	}
+	csp.End()
+	psp := opts.Trace.StartChild("protocol")
+	psp.SetItems(len(uniques))
 
 	// Batch boundaries.
 	bounds := stepBounds(len(uniques), fractions)
@@ -195,9 +205,12 @@ func Run(db *core.Database, engine *classify.Engine, truth Truth, opts Options) 
 		errB *= opts.Decay
 	}
 
+	psp.End()
 	// Propagate unique annotations to duplicate occurrences, and apply
 	// the per-occurrence workaround and status classification.
+	prsp := opts.Trace.StartChild("propagate")
 	propagate(db, engine)
+	prsp.End()
 	return res, nil
 }
 

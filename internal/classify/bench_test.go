@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 )
 
 var benchErrata []*core.Erratum
@@ -33,6 +34,30 @@ func BenchmarkClassifyEngine(b *testing.B) {
 	for _, kc := range kernelConfigs {
 		b.Run("impl="+kc.name, func(b *testing.B) {
 			eng := NewEngineConfig(kc.cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Classify(errata[i%len(errata)])
+			}
+		})
+	}
+}
+
+// BenchmarkClassifyEngineObs measures the cost of wiring an obs
+// registry into the production configuration (prefilter+memo). The
+// instrumented hot path is a handful of atomic adds per Classify; the
+// EXPERIMENTS.md budget for the obs=on/obs=off gap is <2%.
+func BenchmarkClassifyEngineObs(b *testing.B) {
+	errata := benchCorpus(b)
+	for _, variant := range []struct {
+		name string
+		reg  *obs.Registry
+	}{
+		{"obs=off", nil},
+		{"obs=on", obs.NewRegistry()},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			eng := NewEngineConfig(Config{Prefilter: true, Memo: true, Obs: variant.reg})
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

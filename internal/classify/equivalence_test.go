@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/corpus"
+	"repro/internal/obs"
 	"repro/internal/taxonomy"
 )
 
@@ -163,7 +164,9 @@ func TestKernelConcurrentClassify(t *testing.T) {
 // TestMemoCacheBound checks the clear-on-full policy: the cache never
 // exceeds its bound and keeps answering correctly across the reset.
 func TestMemoCacheBound(t *testing.T) {
-	c := newMemoCache(8)
+	reg := obs.NewRegistry()
+	clears := reg.Counter("test_memo_clears_total", "")
+	c := newMemoCache(8, clears)
 	for i := 0; i < 100; i++ {
 		key := fmt.Sprintf("clause %d", i)
 		c.put(key, []string{key}, nil)
@@ -174,6 +177,11 @@ func TestMemoCacheBound(t *testing.T) {
 		if !ok || len(s) != 1 || s[0] != key {
 			t.Fatalf("entry %d not readable after put", i)
 		}
+	}
+	// 100 puts through an 8-entry clear-on-full cache reset 12 times
+	// (on puts 9, 17, 25, ...), and the instrument sees each reset.
+	if got := clears.Value(); got != 12 {
+		t.Fatalf("clears counter = %d, want 12", got)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/taxonomy"
 )
 
@@ -88,19 +89,24 @@ func (e *Engine) matchKernel(kind taxonomy.Kind, text string) (strong, weak []st
 	// first: by the time a rule's weak candidates appear, its strong
 	// verdict is final. Any pattern not in the candidate set provably
 	// does not match, so skipping it preserves the naive semantics.
+	confirmed := 0
 	for _, id := range sc.cands {
 		pi := kk.pat[id]
 		switch {
 		case pi.strong:
 			if state[pi.rule] != ruleStrong && kk.kernel.Pattern(id).MatchString(text) {
 				state[pi.rule] = ruleStrong
+				confirmed++
 			}
 		case state[pi.rule] == ruleUnseen:
 			if kk.kernel.Pattern(id).MatchString(text) {
 				state[pi.rule] = ruleWeak
+				confirmed++
 			}
 		}
 	}
+	e.prefCands.Add(int64(len(sc.cands)))
+	e.prefConfirmed.Add(int64(confirmed))
 	rules := e.rules[kind]
 	for i, st := range state {
 		switch st {
@@ -183,17 +189,18 @@ const memoMaxEntries = 1 << 15
 // so cache state — including the clear-on-full reset — can never change
 // a classification, only its cost.
 type memoCache struct {
-	mu  sync.RWMutex
-	m   map[string]memoEntry
-	max int
+	mu     sync.RWMutex
+	m      map[string]memoEntry
+	max    int
+	clears *obs.Counter // clear-on-full resets; nil when uninstrumented
 }
 
 type memoEntry struct {
 	strong, weak []string
 }
 
-func newMemoCache(max int) *memoCache {
-	return &memoCache{m: make(map[string]memoEntry), max: max}
+func newMemoCache(max int, clears *obs.Counter) *memoCache {
+	return &memoCache{m: make(map[string]memoEntry), max: max, clears: clears}
 }
 
 func (c *memoCache) get(text string) (strong, weak []string, ok bool) {
@@ -209,6 +216,7 @@ func (c *memoCache) put(text string, strong, weak []string) {
 		// Clear-on-full: the hot templated clauses repopulate within
 		// one batch, and the policy is trivially deterministic.
 		c.m = make(map[string]memoEntry)
+		c.clears.Inc()
 	}
 	c.m[text] = memoEntry{strong: strong, weak: weak}
 	c.mu.Unlock()

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/taxonomy"
 )
 
@@ -53,6 +54,23 @@ type Index struct {
 	// triggerCount holds, per ordinal, the number of distinct trigger
 	// categories (the quantity MinTriggers filters on).
 	triggerCount []int
+
+	// Instruments (nil until Instrument is called; obs instruments are
+	// no-ops on nil receivers, so uninstrumented queries pay one branch).
+	intersections *obs.Counter
+	residuals     *obs.Counter
+}
+
+// Instrument registers the index's query counters in reg: the number
+// of pairwise postings-list intersections performed and the number of
+// residual-predicate evaluations (candidates that could not be answered
+// from postings lists alone and fell back to per-entry predicates).
+// Call it once, before the index serves concurrent queries.
+func (ix *Index) Instrument(reg *obs.Registry) {
+	ix.intersections = reg.Counter("rememberr_index_intersections_total",
+		"Pairwise postings-list intersections performed by queries.")
+	ix.residuals = reg.Counter("rememberr_index_residual_filters_total",
+		"Candidate ordinals filtered through residual predicates (non-indexable filters).")
 }
 
 // Build constructs the index for a database. The database must not be
@@ -281,16 +299,20 @@ func (q *Query) matchOrdinals() []int {
 		copy(lists, q.lists)
 		sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
 		cand = lists[0]
+		merged := int64(0)
 		for _, l := range lists[1:] {
 			if len(cand) == 0 {
 				break
 			}
 			cand = intersect(cand, l)
+			merged++
 		}
+		q.ix.intersections.Add(merged)
 	}
 	if len(q.preds) == 0 || len(cand) == 0 {
 		return cand
 	}
+	q.ix.residuals.Add(int64(len(cand)))
 	out := make([]int, 0, len(cand))
 	for _, ord := range cand {
 		ok := true

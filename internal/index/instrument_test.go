@@ -1,0 +1,46 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/obs"
+)
+
+// TestInstrumentedQueries checks that intersections and residual
+// fallbacks are attributed to the registry and that instrumentation
+// does not change query results.
+func TestInstrumentedQueries(t *testing.T) {
+	gt, err := corpus.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Build(gt.DB)
+	ix := Build(gt.DB)
+	reg := obs.NewRegistry()
+	ix.Instrument(reg)
+
+	inters := reg.Counter("rememberr_index_intersections_total", "")
+	resid := reg.Counter("rememberr_index_residual_filters_total", "")
+
+	// Single postings list: no intersection, no residual.
+	if got, want := ix.Query().Vendor(0).Count(), plain.Query().Vendor(0).Count(); got != want {
+		t.Fatalf("instrumented count %d != plain %d", got, want)
+	}
+	if inters.Value() != 0 || resid.Value() != 0 {
+		t.Fatalf("single-list query counted %d intersections, %d residuals", inters.Value(), resid.Value())
+	}
+
+	// Two postings lists intersect exactly once.
+	ix.Query().Vendor(0).WithCategory("Eff_HNG_hng").Count()
+	if inters.Value() != 1 {
+		t.Fatalf("intersections = %d, want 1", inters.Value())
+	}
+
+	// A title filter is a residual predicate over every candidate.
+	n := ix.Size()
+	ix.Query().TitleContains("the").Count()
+	if resid.Value() != int64(n) {
+		t.Fatalf("residuals = %d, want %d (every entry scanned)", resid.Value(), n)
+	}
+}

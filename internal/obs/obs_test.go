@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent is the -race acceptance test: concurrent
+// increments through instruments resolved from one registry must be
+// exact, not approximate.
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perGoroutine = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolving inside the goroutine exercises concurrent
+			// registration returning the same instrument.
+			c := reg.Counter("test_ops_total", "ops", L("kind", "x"))
+			gauge := reg.Gauge("test_level", "level")
+			h := reg.Histogram("test_lat", "lat", []float64{1, 10})
+			for i := 0; i < perGoroutine; i++ {
+				c.Inc()
+				gauge.Add(1)
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(goroutines * perGoroutine)
+	if got := reg.Counter("test_ops_total", "ops", L("kind", "x")).Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := reg.Gauge("test_level", "level").Value(); got != float64(want) {
+		t.Errorf("gauge = %v, want %v", got, want)
+	}
+	snap := reg.Histogram("test_lat", "lat", []float64{1, 10}).Snapshot()
+	if snap.Count != uint64(want) || snap.Counts[0] != uint64(want) {
+		t.Errorf("histogram count = %d (bucket0 %d), want %d", snap.Count, snap.Counts[0], want)
+	}
+	if snap.Sum != 0.5*float64(want) {
+		t.Errorf("histogram sum = %v, want %v", snap.Sum, 0.5*float64(want))
+	}
+}
+
+// TestHistogramBuckets pins the le ("less than or equal") boundary
+// semantics: a value equal to an upper bound lands in that bucket, the
+// first value above the last bound lands in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("b", "", []float64{1, 2, 5})
+	for _, v := range []float64{0, 0.5, 1, 1.0001, 2, 2.5, 5, 5.0001, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	// Buckets: (-inf,1]=3  (1,2]=2  (2,5]=2  (5,+inf)=2
+	want := []uint64{3, 2, 2, 2}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], w)
+		}
+	}
+	if snap.Count != 9 {
+		t.Errorf("count = %d, want 9", snap.Count)
+	}
+	if snap.Sum != 0+0.5+1+1.0001+2+2.5+5+5.0001+100 {
+		t.Errorf("sum = %v", snap.Sum)
+	}
+}
+
+// TestNilSafety proves the "nil is off" contract: a nil registry hands
+// out nil instruments and every operation on them is a no-op.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total", "")
+	g := reg.Gauge("x", "")
+	h := reg.Histogram("x_seconds", "", LatencyBuckets)
+	reg.GaugeFunc("x_fn", "", func() float64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.1)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil instruments recorded values")
+	}
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var sp *Span
+	sp.SetItems(3)
+	sp.End()
+	if sp.StartChild("x") != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if sp.Duration() != 0 || sp.ChildDuration() != 0 {
+		t.Fatal("nil span reported durations")
+	}
+}
+
+// TestPrometheusGolden pins the exposition byte for byte: families
+// sorted by name, series sorted by label signature, histogram buckets
+// cumulative with the implicit +Inf, label values escaped.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	// Register deliberately out of name order and label order.
+	reg.Counter("zz_total", "Last family.").Add(7)
+	reg.Counter("aa_requests_total", "Requests.", L("endpoint", "stats")).Add(2)
+	reg.Counter("aa_requests_total", "Requests.", L("endpoint", "errata")).Add(40)
+	reg.Gauge("mm_level", "A gauge.").Set(1.5)
+	reg.GaugeFunc("mm_fn", "Sampled.", func() float64 { return 42 })
+	h := reg.Histogram("hh_seconds", "A histogram.", []float64{0.1, 0.5}, L("op", `quo"te`))
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_requests_total Requests.
+# TYPE aa_requests_total counter
+aa_requests_total{endpoint="errata"} 40
+aa_requests_total{endpoint="stats"} 2
+# HELP hh_seconds A histogram.
+# TYPE hh_seconds histogram
+hh_seconds_bucket{op="quo\"te",le="0.1"} 2
+hh_seconds_bucket{op="quo\"te",le="0.5"} 3
+hh_seconds_bucket{op="quo\"te",le="+Inf"} 4
+hh_seconds_sum{op="quo\"te"} 2.4
+hh_seconds_count{op="quo\"te"} 4
+# HELP mm_fn Sampled.
+# TYPE mm_fn gauge
+mm_fn 42
+# HELP mm_level A gauge.
+# TYPE mm_level gauge
+mm_level 1.5
+# HELP zz_total Last family.
+# TYPE zz_total counter
+zz_total 7
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+	// Stability: a second write is byte-identical.
+	var b2 strings.Builder
+	reg.WritePrometheus(&b2)
+	if b.String() != b2.String() {
+		t.Error("two writes of an unchanged registry differ")
+	}
+}
+
+// TestRegistryIdempotent proves registration returns the same
+// instrument for the same identity and panics on kind conflicts.
+func TestRegistryIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("c_total", "", L("a", "1"), L("b", "2"))
+	b := reg.Counter("c_total", "", L("b", "2"), L("a", "1")) // label order irrelevant
+	if a != b {
+		t.Fatal("same identity returned distinct counters")
+	}
+	c := reg.Counter("c_total", "", L("a", "2"), L("b", "2"))
+	if a == c {
+		t.Fatal("distinct label values shared a counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	reg.Gauge("c_total", "")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	reg := NewRegistry()
+	for _, fn := range []func(){
+		func() { reg.Counter("bad-name", "") },
+		func() { reg.Counter("1leading", "") },
+		func() { reg.Counter("ok_total", "", L("bad-label", "v")) },
+		func() { reg.Histogram("h", "", []float64{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestSpanTree exercises the span lifecycle: tree shape, durations,
+// item counts, and the stage gauges published on End.
+func TestSpanTree(t *testing.T) {
+	reg := NewRegistry()
+	root := StartSpan(reg, "build")
+	a := root.StartChild("parse")
+	a.SetItems(10)
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	b := root.StartChild("dedup")
+	inner := b.StartChild("score")
+	time.Sleep(time.Millisecond)
+	inner.End()
+	b.End()
+	root.End()
+
+	if len(root.Children) != 2 || root.Children[0] != a || root.Children[1] != b {
+		t.Fatalf("tree shape wrong: %+v", root.Children)
+	}
+	if a.Duration() <= 0 || b.Duration() <= 0 || root.Duration() < a.Duration()+b.Duration() {
+		t.Errorf("durations inconsistent: root %v, a %v, b %v", root.Duration(), a.Duration(), b.Duration())
+	}
+	if root.ChildDuration() != a.Duration()+b.Duration() {
+		t.Errorf("ChildDuration = %v, want %v", root.ChildDuration(), a.Duration()+b.Duration())
+	}
+	if got := reg.Gauge("rememberr_build_stage_seconds", "", L("stage", "parse")).Value(); got <= 0 {
+		t.Errorf("stage seconds gauge = %v, want > 0", got)
+	}
+	if got := reg.Gauge("rememberr_build_stage_items", "", L("stage", "parse")).Value(); got != 10 {
+		t.Errorf("stage items gauge = %v, want 10", got)
+	}
+
+	// End is idempotent.
+	d := a.DurationNS
+	a.End()
+	if a.DurationNS != d {
+		t.Error("second End changed the duration")
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import "time"
+
+// Span measures one stage of a larger operation: wall time, an optional
+// item count, and child stages. Spans form a tree that the build
+// pipeline exports as BuildReport.Trace, and on End each span also
+// records its duration and item count into the registry it was started
+// against (as the rememberr_build_stage_seconds and
+// rememberr_build_stage_items gauges, labeled by stage name), so the
+// last build's stage profile is visible on /metrics alongside the
+// serving counters.
+//
+// Spans are deliberately minimal: single-goroutine stages measured with
+// the monotonic clock, no context propagation, no sampling. A span tree
+// must be built and ended from one goroutine; the exported fields are
+// safe to read once the root span has ended. All methods are no-ops on
+// a nil *Span, so optional tracing threads through call chains as a
+// possibly-nil pointer without branching at every call site.
+type Span struct {
+	// Name identifies the stage ("parse", "dedup", ...).
+	Name string `json:"name"`
+	// DurationNS is the wall time between StartSpan/StartChild and End,
+	// in nanoseconds. Zero until End is called.
+	DurationNS int64 `json:"duration_ns"`
+	// Items counts the units the stage processed (documents, errata,
+	// candidate pairs), when the stage reports one.
+	Items int `json:"items,omitempty"`
+	// Children are the nested stages, in start order.
+	Children []*Span `json:"children,omitempty"`
+
+	start time.Time
+	reg   *Registry
+}
+
+// StartSpan starts a root span. reg may be nil, in which case the span
+// tree is still built but nothing is recorded into a registry.
+func StartSpan(reg *Registry, name string) *Span {
+	return &Span{Name: name, start: time.Now(), reg: reg}
+}
+
+// StartChild starts a nested stage under s and returns it. On a nil
+// span it returns nil, which is itself safe to use.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, start: time.Now(), reg: s.reg}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// SetItems records the number of items the stage processed.
+func (s *Span) SetItems(n int) {
+	if s == nil {
+		return
+	}
+	s.Items = n
+}
+
+// End stops the span, fixing its duration and publishing the stage
+// gauges. End is idempotent: the first call wins.
+func (s *Span) End() {
+	if s == nil || s.DurationNS != 0 {
+		return
+	}
+	d := time.Since(s.start).Nanoseconds()
+	if d <= 0 {
+		// The monotonic clock can report zero for sub-resolution
+		// stages; clamp so "ended" stays distinguishable from "open".
+		d = 1
+	}
+	s.DurationNS = d
+	if s.reg != nil {
+		s.reg.Gauge("rememberr_build_stage_seconds",
+			"Wall time of each stage of the most recent database build.",
+			L("stage", s.Name)).Set(float64(d) / 1e9)
+		if s.Items > 0 {
+			s.reg.Gauge("rememberr_build_stage_items",
+				"Items processed by each stage of the most recent database build.",
+				L("stage", s.Name)).Set(float64(s.Items))
+		}
+	}
+}
+
+// Duration returns the measured wall time (zero until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.DurationNS)
+}
+
+// ChildDuration sums the durations of the direct children — the
+// portion of s accounted for by named stages.
+func (s *Span) ChildDuration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	var sum time.Duration
+	for _, c := range s.Children {
+		sum += c.Duration()
+	}
+	return sum
+}

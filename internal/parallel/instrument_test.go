@@ -1,0 +1,72 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestInstrumentedCounts pins the instrument bookkeeping: completed
+// tasks are counted exactly, per-worker counts sum to the total, and
+// the queue-depth gauge returns to zero after every batch — on both
+// the sequential and the parallel path.
+func TestInstrumentedCounts(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+
+	var ran atomic.Int64
+	for _, workers := range []int{1, 4} {
+		if err := Do(100, workers, func(i int) error { ran.Add(1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tasks := reg.Counter("rememberr_parallel_tasks_total", "")
+	if got := tasks.Value(); got != 200 || ran.Load() != 200 {
+		t.Fatalf("tasks_total = %d (ran %d), want 200", got, ran.Load())
+	}
+	var perWorker int64
+	for w := 0; w < 4; w++ {
+		perWorker += reg.Counter("rememberr_parallel_worker_tasks_total", "",
+			obs.L("worker", string(rune('0'+w)))).Value()
+	}
+	if perWorker != 200 {
+		t.Fatalf("per-worker counts sum to %d, want 200", perWorker)
+	}
+	if depth := reg.Gauge("rememberr_parallel_queue_depth", "").Value(); depth != 0 {
+		t.Fatalf("queue depth = %v after batches drained, want 0", depth)
+	}
+
+	// The sequential path stops at the first error and accounts only
+	// for the tasks it actually ran.
+	boom := errors.New("boom")
+	if err := Do(10, 1, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := tasks.Value(); got != 204 {
+		t.Fatalf("tasks_total after failing batch = %d, want 204", got)
+	}
+	if depth := reg.Gauge("rememberr_parallel_queue_depth", "").Value(); depth != 0 {
+		t.Fatalf("queue depth = %v after failing batch, want 0", depth)
+	}
+}
+
+// TestUninstrumentedIsNoop proves Do works identically with
+// instrumentation off (the default).
+func TestUninstrumentedIsNoop(t *testing.T) {
+	Instrument(nil)
+	var ran atomic.Int64
+	if err := Do(50, 8, func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d tasks, want 50", ran.Load())
+	}
+}

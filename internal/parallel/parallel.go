@@ -15,8 +15,54 @@ package parallel
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
+
+// instruments is the immutable instrument set swapped in by Instrument.
+type instruments struct {
+	reg        *obs.Registry
+	queueDepth *obs.Gauge   // tasks submitted but not yet finished
+	tasksTotal *obs.Counter // tasks completed across all batches
+}
+
+var instr atomic.Pointer[instruments]
+
+// Instrument wires the package's instruments into reg: the
+// rememberr_parallel_queue_depth gauge (tasks in flight across every
+// concurrent Do), the rememberr_parallel_tasks_total counter, and the
+// per-worker rememberr_parallel_worker_tasks_total counters (created
+// lazily per worker slot, so the label set reflects the widest pool
+// actually run). Passing nil turns instrumentation off again.
+//
+// The instrument set is swapped atomically, but counts recorded under
+// the previous registry stay there: call Instrument once at process
+// start, before pipelines run.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		instr.Store(nil)
+		return
+	}
+	instr.Store(&instruments{
+		reg: reg,
+		queueDepth: reg.Gauge("rememberr_parallel_queue_depth",
+			"Tasks submitted to the worker pool and not yet completed."),
+		tasksTotal: reg.Counter("rememberr_parallel_tasks_total",
+			"Tasks completed by the worker pool."),
+	})
+}
+
+// workerCounter resolves the per-worker task counter for worker slot w.
+func (in *instruments) workerCounter(w int) *obs.Counter {
+	if in == nil {
+		return nil
+	}
+	return in.reg.Counter("rememberr_parallel_worker_tasks_total",
+		"Tasks completed per worker slot.", obs.L("worker", strconv.Itoa(w)))
+}
 
 // Workers resolves a Parallelism knob into a concrete worker count:
 // values <= 0 select runtime.GOMAXPROCS(0), anything else is returned
@@ -46,9 +92,27 @@ func Do(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	in := instr.Load()
+	var depth *obs.Gauge
+	var tasks *obs.Counter
+	if in != nil {
+		depth, tasks = in.queueDepth, in.tasksTotal
+	}
+	depth.Add(float64(n))
 	if workers == 1 {
+		done := 0
+		defer func() {
+			// The sequential path stops at the first error; account
+			// only for tasks actually run, and drain the rest from the
+			// queue-depth gauge.
+			tasks.Add(int64(done))
+			in.workerCounter(0).Add(int64(done))
+			depth.Add(-float64(n))
+		}()
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			err := fn(i)
+			done++
+			if err != nil {
 				return err
 			}
 		}
@@ -59,12 +123,17 @@ func Do(n, workers int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			done := int64(0)
 			for i := range next {
 				errs[i] = fn(i)
+				done++
+				depth.Add(-1)
 			}
-		}()
+			tasks.Add(done)
+			in.workerCounter(w).Add(done)
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

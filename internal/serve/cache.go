@@ -3,21 +3,25 @@ package serve
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // lruCache is a mutex-guarded LRU cache from canonicalized query keys
 // to serialized JSON responses. The database behind the server is
 // immutable, so entries never expire; capacity eviction is the only
-// invalidation. Hit/miss/eviction counts feed /metrics.
+// invalidation. Hit/miss/eviction counts are recorded straight into
+// the server's obs registry (rememberr_cache_*_total), so /metrics and
+// /v1/metrics.json read from the same instruments.
 type lruCache struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List
 	items map[string]*list.Element
 
-	hits      int64
-	misses    int64
-	evictions int64
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
 }
 
 type cacheEntry struct {
@@ -26,12 +30,16 @@ type cacheEntry struct {
 }
 
 // newLRUCache returns a cache holding up to max entries; max <= 0
-// disables caching (every lookup misses, nothing is stored).
-func newLRUCache(max int) *lruCache {
+// disables caching (every lookup misses, nothing is stored). The
+// counters may be nil (no-op) when instrumentation is off.
+func newLRUCache(max int, hits, misses, evictions *obs.Counter) *lruCache {
 	return &lruCache{
-		max:   max,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
+		max:       max,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      hits,
+		misses:    misses,
+		evictions: evictions,
 	}
 }
 
@@ -40,10 +48,10 @@ func (c *lruCache) get(key string) ([]byte, bool) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		c.hits++
+		c.hits.Inc()
 		return el.Value.(*cacheEntry).val, true
 	}
-	c.misses++
+	c.misses.Inc()
 	return nil, false
 }
 
@@ -63,13 +71,19 @@ func (c *lruCache) put(key string, val []byte) {
 		back := c.ll.Back()
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*cacheEntry).key)
-		c.evictions++
+		c.evictions.Inc()
 	}
 }
 
-// stats returns a consistent snapshot of the counters and size.
-func (c *lruCache) stats() (hits, misses, evictions int64, entries int) {
+// entries returns the current cache size; it backs the
+// rememberr_cache_entries gauge.
+func (c *lruCache) entries() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evictions, c.ll.Len()
+	return c.ll.Len()
+}
+
+// stats returns a snapshot of the counters and size.
+func (c *lruCache) stats() (hits, misses, evictions int64, entries int) {
+	return c.hits.Value(), c.misses.Value(), c.evictions.Value(), c.entries()
 }

@@ -1,20 +1,28 @@
 // Package serve exposes a loaded RemembERR database over an HTTP JSON
 // API — the serving layer for the paper's released-database use case.
-// Endpoints:
+// The API is versioned under /v1; operational endpoints stay at the
+// root:
 //
-//	GET /errata        filtered query (see parseFilters for parameters)
-//	GET /errata/{key}  every occurrence of one deduplicated erratum
-//	GET /stats         corpus statistics
-//	GET /healthz       liveness probe
-//	GET /metrics       per-endpoint counters and cache statistics
+//	GET /v1/errata        filtered query (see parseFilters for parameters)
+//	GET /v1/errata/{key}  every occurrence of one deduplicated erratum
+//	GET /v1/stats         corpus statistics
+//	GET /v1/metrics.json  JSON snapshot of the server's instruments
+//	GET /healthz          liveness probe
+//	GET /metrics          Prometheus text exposition (whole registry)
+//
+// The legacy unversioned paths (/errata, /errata/{key}, /stats) answer
+// with 308 Permanent Redirect to their /v1 equivalents, preserving the
+// query string, so pre-v1 clients keep working.
 //
 // Queries execute on the inverted index (internal/index), results are
 // memoized in an LRU cache keyed by the canonicalized filter set, and
-// every endpoint records request/error/latency counters exported at
-// /metrics in expvar style (plain JSON, no dependencies). The server
-// is safe for arbitrary concurrency: the database and index are
-// immutable snapshots, the cache is mutex-guarded, and the counters are
-// atomics.
+// every endpoint records request/error counters plus a latency
+// histogram into a single obs registry (rememberr_http_*). Passing a
+// shared registry via Options.Observability folds build-pipeline and
+// index metrics into the same /metrics page. The server is safe for
+// arbitrary concurrency: the database and index are immutable
+// snapshots, the cache is mutex-guarded, and the instruments are
+// lock-free.
 package serve
 
 import (
@@ -23,15 +31,16 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"sort"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/taxonomy"
 )
 
@@ -46,6 +55,14 @@ type Options struct {
 	// ShutdownGrace bounds how long Serve waits for in-flight requests
 	// on shutdown. 0 selects the default 5s.
 	ShutdownGrace time.Duration
+	// Observability is the registry receiving the server's instruments.
+	// nil selects a fresh private registry, so /metrics always works;
+	// pass the registry used for the build to expose its metrics too.
+	Observability *obs.Registry
+	// EnableProfiling mounts net/http/pprof under /debug/pprof/,
+	// outside the request-timeout wrapper (profiles legitimately run
+	// longer than API requests).
+	EnableProfiling bool
 }
 
 func (o Options) withDefaults() Options {
@@ -61,11 +78,18 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// endpointMetrics counts one route's traffic.
-type endpointMetrics struct {
-	requests  atomic.Int64
-	errors    atomic.Int64
-	latencyNS atomic.Int64
+// endpointInstruments holds one route's registry-backed instruments,
+// resolved once at construction so the per-request path is lock-free.
+type endpointInstruments struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// endpointNames lists every instrumented route; "redirect" aggregates
+// the legacy unversioned paths.
+var endpointNames = []string{
+	"errata", "erratum", "stats", "healthz", "metrics", "metrics_json", "redirect",
 }
 
 // Server serves one immutable database snapshot.
@@ -75,40 +99,89 @@ type Server struct {
 	opts  Options
 	cache *lruCache
 	stats core.Stats
+	reg   *obs.Registry
 
-	metrics map[string]*endpointMetrics
+	endpoints map[string]*endpointInstruments
 }
 
 // New builds the index over db and returns a ready server. The caller
 // must not mutate db afterwards.
 func New(db *core.Database, opts Options) *Server {
 	opts = opts.withDefaults()
+	reg := opts.Observability
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ix := index.Build(db)
+	ix.Instrument(reg)
+	endpoints := make(map[string]*endpointInstruments, len(endpointNames))
+	for _, name := range endpointNames {
+		endpoints[name] = &endpointInstruments{
+			requests: reg.Counter("rememberr_http_requests_total",
+				"HTTP requests served, by endpoint.", obs.L("endpoint", name)),
+			errors: reg.Counter("rememberr_http_errors_total",
+				"HTTP responses with status >= 400, by endpoint.", obs.L("endpoint", name)),
+			latency: reg.Histogram("rememberr_http_request_duration_seconds",
+				"HTTP request latency, by endpoint.", obs.LatencyBuckets, obs.L("endpoint", name)),
+		}
+	}
+	cache := newLRUCache(opts.CacheSize,
+		reg.Counter("rememberr_cache_hits_total", "Query-cache hits."),
+		reg.Counter("rememberr_cache_misses_total", "Query-cache misses."),
+		reg.Counter("rememberr_cache_evictions_total", "Query-cache capacity evictions."))
+	reg.GaugeFunc("rememberr_cache_entries", "Query-cache resident entries.",
+		func() float64 { return float64(cache.entries()) })
+	reg.Gauge("rememberr_cache_capacity", "Query-cache capacity.").Set(float64(opts.CacheSize))
 	return &Server{
-		db:    db,
-		ix:    index.Build(db),
-		opts:  opts,
-		cache: newLRUCache(opts.CacheSize),
-		stats: db.ComputeStats(),
-		metrics: map[string]*endpointMetrics{
-			"errata":  {},
-			"erratum": {},
-			"stats":   {},
-			"healthz": {},
-			"metrics": {},
-		},
+		db:        db,
+		ix:        ix,
+		opts:      opts,
+		cache:     cache,
+		stats:     db.ComputeStats(),
+		reg:       reg,
+		endpoints: endpoints,
 	}
 }
 
+// Registry returns the registry backing the server's instruments (the
+// one passed in Options.Observability, or the private default).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
 // Handler returns the routed HTTP handler with request timeouts
-// applied.
+// applied. Profiling routes, when enabled, bypass the timeout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /errata", s.instrument("errata", s.handleErrata))
-	mux.HandleFunc("GET /errata/{key}", s.instrument("erratum", s.handleErratum))
-	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /v1/errata", s.instrument("errata", s.handleErrata))
+	mux.HandleFunc("GET /v1/errata/{key}", s.instrument("erratum", s.handleErratum))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /v1/metrics.json", s.instrument("metrics_json", s.handleMetricsJSON))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
-	return http.TimeoutHandler(mux, s.opts.RequestTimeout, `{"error":"request timed out"}`)
+	mux.HandleFunc("GET /errata", s.instrument("redirect", s.handleRedirect))
+	mux.HandleFunc("GET /errata/{key}", s.instrument("redirect", s.handleRedirect))
+	mux.HandleFunc("GET /stats", s.instrument("redirect", s.handleRedirect))
+	h := http.Handler(http.TimeoutHandler(mux, s.opts.RequestTimeout, `{"error":"request timed out"}`))
+	if s.opts.EnableProfiling {
+		outer := http.NewServeMux()
+		outer.HandleFunc("GET /debug/pprof/", pprof.Index)
+		outer.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", h)
+		h = outer
+	}
+	return h
+}
+
+// handleRedirect answers a legacy unversioned path with a permanent
+// redirect to its /v1 equivalent, query string included.
+func (s *Server) handleRedirect(w http.ResponseWriter, r *http.Request) {
+	target := "/v1" + r.URL.EscapedPath()
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusPermanentRedirect)
 }
 
 // Serve listens on addr until ctx is cancelled, then shuts down
@@ -132,7 +205,9 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 	return <-done
 }
 
-// statusRecorder captures the response status for error counting.
+// statusRecorder captures the response status for error counting while
+// forwarding optional ResponseWriter capabilities to the wrapped
+// writer.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -143,16 +218,27 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so streaming handlers keep
+// working behind the instrumentation wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
-	m := s.metrics[name]
+	m := s.endpoints[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
-		m.requests.Add(1)
-		m.latencyNS.Add(time.Since(start).Nanoseconds())
+		m.requests.Inc()
+		m.latency.Observe(time.Since(start).Seconds())
 		if rec.status >= 400 {
-			m.errors.Add(1)
+			m.errors.Inc()
 		}
 	}
 }
@@ -557,21 +643,22 @@ type CacheSnapshot struct {
 	Capacity  int   `json:"capacity"`
 }
 
-// MetricsSnapshot is the full /metrics payload.
+// MetricsSnapshot is the full /v1/metrics.json payload.
 type MetricsSnapshot struct {
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 	Cache     CacheSnapshot               `json:"cache"`
 }
 
-// Metrics returns a snapshot of all counters; the same data backs the
-// /metrics endpoint.
+// Metrics returns a snapshot of the server's instruments, read back
+// from the obs registry; the same data backs /v1/metrics.json, and the
+// raw instruments are exposed in Prometheus form at /metrics.
 func (s *Server) Metrics() MetricsSnapshot {
-	snap := MetricsSnapshot{Endpoints: make(map[string]EndpointSnapshot, len(s.metrics))}
-	for name, m := range s.metrics {
+	snap := MetricsSnapshot{Endpoints: make(map[string]EndpointSnapshot, len(s.endpoints))}
+	for name, m := range s.endpoints {
 		snap.Endpoints[name] = EndpointSnapshot{
-			Requests:  m.requests.Load(),
-			Errors:    m.errors.Load(),
-			LatencyNS: m.latencyNS.Load(),
+			Requests:  m.requests.Value(),
+			Errors:    m.errors.Value(),
+			LatencyNS: int64(m.latency.Snapshot().Sum * 1e9),
 		}
 	}
 	hits, misses, evictions, entries := s.cache.stats()
@@ -582,7 +669,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 	return snap
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	body, _ := json.Marshal(s.Metrics())
 	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.reg.WritePrometheus(w)
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 )
 
 // testServer builds a server over the synthetic corpus (seed 1).
@@ -333,8 +334,16 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+func newTestCache(max int) *lruCache {
+	reg := obs.NewRegistry()
+	return newLRUCache(max,
+		reg.Counter("test_cache_hits_total", ""),
+		reg.Counter("test_cache_misses_total", ""),
+		reg.Counter("test_cache_evictions_total", ""))
+}
+
 func TestLRUCache(t *testing.T) {
-	c := newLRUCache(2)
+	c := newTestCache(2)
 	if _, ok := c.get("a"); ok {
 		t.Fatal("hit on empty cache")
 	}
@@ -362,7 +371,7 @@ func TestLRUCache(t *testing.T) {
 	}
 
 	// Disabled cache never stores.
-	off := newLRUCache(-1)
+	off := newTestCache(-1)
 	off.put("a", []byte("1"))
 	if _, ok := off.get("a"); ok {
 		t.Fatal("disabled cache stored an entry")

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// noRedirectClient stops at the first response so redirects can be
+// asserted rather than followed.
+func noRedirectClient(ts *httptest.Server) *http.Client {
+	c := *ts.Client()
+	c.CheckRedirect = func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}
+	return &c
+}
+
+// TestLegacyRedirects pins the compatibility contract: every
+// unversioned path answers 308 with a Location pointing at the /v1
+// equivalent, query string preserved, and the redirect traffic is
+// accounted under its own endpoint.
+func TestLegacyRedirects(t *testing.T) {
+	s := testServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := noRedirectClient(ts)
+
+	cases := []struct{ path, location string }{
+		{"/errata", "/v1/errata"},
+		{"/errata?vendor=Intel&limit=5", "/v1/errata?vendor=Intel&limit=5"},
+		{"/errata/some-key", "/v1/errata/some-key"},
+		{"/stats", "/v1/stats"},
+	}
+	for _, tc := range cases {
+		resp, err := c.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("%s = %d, want 308", tc.path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != tc.location {
+			t.Errorf("%s Location = %q, want %q", tc.path, loc, tc.location)
+		}
+	}
+	m := s.Metrics()
+	if got := m.Endpoints["redirect"].Requests; got != int64(len(cases)) {
+		t.Errorf("redirect requests = %d, want %d", got, len(cases))
+	}
+	if got := m.Endpoints["errata"].Requests; got != 0 {
+		t.Errorf("errata requests = %d after unfollowed redirects, want 0", got)
+	}
+	// Following the redirect lands on the same payload as direct /v1.
+	var viaLegacy, direct errataResp
+	getJSON(t, ts.Client(), ts.URL+"/errata?limit=3", &viaLegacy)
+	getJSON(t, ts.Client(), ts.URL+"/v1/errata?limit=3", &direct)
+	if viaLegacy.Total != direct.Total || len(viaLegacy.Errata) != len(direct.Errata) {
+		t.Errorf("legacy-followed %+v != direct %+v", viaLegacy, direct)
+	}
+}
+
+// TestPaginationEdges covers the limit/offset boundary contract on the
+// v1 listing: limit=0 returns an empty page with the true total, and an
+// offset past the end is a 200 with zero rows, not an error.
+func TestPaginationEdges(t *testing.T) {
+	s := testServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var zero errataResp
+	if code := getJSON(t, c, ts.URL+"/v1/errata?limit=0", &zero); code != 200 {
+		t.Fatalf("limit=0 = %d, want 200", code)
+	}
+	if zero.Count != 0 || len(zero.Errata) != 0 || zero.Total == 0 {
+		t.Fatalf("limit=0 page = %+v, want empty page with real total", zero)
+	}
+
+	var past errataResp
+	if code := getJSON(t, c, ts.URL+"/v1/errata?offset="+"1000000", &past); code != 200 {
+		t.Fatalf("offset past end = %d, want 200", code)
+	}
+	if past.Count != 0 || past.Total != zero.Total || past.Offset != 1000000 {
+		t.Fatalf("past-the-end page = %+v", past)
+	}
+
+	// Exact final page: offset = total-1 yields one row.
+	var last errataResp
+	getJSON(t, c, ts.URL+"/v1/errata?offset="+strconv.Itoa(zero.Total-1), &last)
+	if last.Count != 1 {
+		t.Fatalf("final-row page count = %d, want 1", last.Count)
+	}
+}
+
+// TestPrometheusEndpoint checks that /metrics serves the whole registry
+// in exposition format: per-endpoint latency histograms, cache
+// counters, and index instruments all present in one page.
+func TestPrometheusEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := testServer(t, Options{Observability: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	// Generate traffic that touches the cache and the index.
+	getJSON(t, c, ts.URL+"/v1/errata?vendor=Intel&category=Eff_HNG_hng", nil)
+	getJSON(t, c, ts.URL+"/v1/errata?vendor=Intel&category=Eff_HNG_hng", nil)
+	getJSON(t, c, ts.URL+"/v1/stats", nil)
+
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE rememberr_http_request_duration_seconds histogram",
+		`rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="+Inf"}`,
+		`rememberr_http_requests_total{endpoint="errata"} 2`,
+		`rememberr_http_requests_total{endpoint="stats"} 1`,
+		"rememberr_cache_hits_total 1",
+		"rememberr_cache_misses_total 1",
+		"rememberr_cache_entries 1",
+		"rememberr_cache_capacity 256",
+		"# TYPE rememberr_index_intersections_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The JSON snapshot stays available under /v1/metrics.json and
+	// agrees with the registry-backed Metrics().
+	var snap MetricsSnapshot
+	if code := getJSON(t, c, ts.URL+"/v1/metrics.json", &snap); code != 200 {
+		t.Fatalf("/v1/metrics.json = %d", code)
+	}
+	if snap.Endpoints["errata"].Requests != 2 || snap.Cache.Hits != 1 {
+		t.Fatalf("metrics.json snapshot = %+v", snap)
+	}
+	if snap.Endpoints["errata"].LatencyNS <= 0 {
+		t.Fatalf("latency NS = %d, want > 0", snap.Endpoints["errata"].LatencyNS)
+	}
+}
+
+// TestSharedRegistry proves Options.Observability folds the server's
+// instruments into a caller-owned registry (the build/serve unification
+// the obs layer exists for).
+func TestSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	external := reg.Counter("external_component_total", "")
+	external.Add(7)
+	s := testServer(t, Options{Observability: reg})
+	if s.Registry() != reg {
+		t.Fatal("server did not adopt the provided registry")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	getJSON(t, ts.Client(), ts.URL+"/healthz", nil)
+
+	var expo strings.Builder
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	out := expo.String()
+	if !strings.Contains(out, "external_component_total 7") {
+		t.Error("caller's own instrument missing from shared registry")
+	}
+	if !strings.Contains(out, `rememberr_http_requests_total{endpoint="healthz"} 1`) {
+		t.Error("server instrument missing from shared registry")
+	}
+}
+
+// TestStatusRecorderFlush verifies the instrumentation wrapper
+// propagates http.Flusher to streaming handlers instead of masking it.
+func TestStatusRecorderFlush(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sr := &statusRecorder{ResponseWriter: rec, status: http.StatusOK}
+	f, ok := http.ResponseWriter(sr).(http.Flusher)
+	if !ok {
+		t.Fatal("statusRecorder does not implement http.Flusher")
+	}
+	sr.Write([]byte("chunk"))
+	f.Flush()
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	if sr.Unwrap() != http.ResponseWriter(rec) {
+		t.Error("Unwrap does not expose the underlying writer")
+	}
+
+	// End to end: a handler type-asserting Flusher succeeds behind
+	// instrument().
+	s := testServer(t, Options{})
+	h := s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := w.(http.Flusher); !ok {
+			t.Error("handler cannot see Flusher through instrumentation")
+		}
+		w.Write([]byte("ok"))
+	})
+	h(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz", nil))
+}
+
+// TestProfilingGate checks /debug/pprof/ is absent by default and
+// served (outside the timeout wrapper) when enabled.
+func TestProfilingGate(t *testing.T) {
+	off := testServer(t, Options{})
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	resp, err := tsOff.Client().Get(tsOff.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without EnableProfiling = %d, want 404", resp.StatusCode)
+	}
+
+	on := testServer(t, Options{EnableProfiling: true})
+	tsOn := httptest.NewServer(on.Handler())
+	defer tsOn.Close()
+	resp, err = tsOn.Client().Get(tsOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index = %d: %.80s", resp.StatusCode, body)
+	}
+	// API routes still work (and still time out) with profiling on.
+	if code := getJSON(t, tsOn.Client(), tsOn.URL+"/v1/stats", nil); code != 200 {
+		t.Fatalf("/v1/stats with profiling = %d", code)
+	}
+}

@@ -18,10 +18,17 @@
 //
 // Quickstart:
 //
-//	db, rep, err := rememberr.Build(rememberr.DefaultBuildOptions())
+//	db, rep, err := rememberr.Build()
 //	if err != nil { ... }
 //	fmt.Println(db.Stats())
 //	fmt.Println(rememberr.NewExperiments(db).Figure10().Text)
+//
+// Build is configured with functional options (WithSeed,
+// WithParallelism, WithObservability, ...); the legacy BuildOptions
+// struct still satisfies Option, so existing callers keep compiling:
+//
+//	db, rep, err := rememberr.Build(rememberr.WithSeed(7), rememberr.WithParallelism(4))
+//	db, rep, err := rememberr.Build(legacyBuildOptions) // deprecated, still works
 package rememberr
 
 import (
@@ -34,6 +41,8 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dedup"
 	"repro/internal/index"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/specdoc"
 	"repro/internal/taxonomy"
 	"repro/internal/textsim"
@@ -81,7 +90,102 @@ const (
 // (Tables IV-VI).
 func BaseScheme() *Scheme { return taxonomy.Base() }
 
+// Registry re-exports the observability registry so callers can wire
+// Build and the serving layer onto one metrics namespace without
+// importing internal packages.
+type Registry = obs.Registry
+
+// NewRegistry returns an empty observability registry (see
+// WithObservability).
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// TraceSpan is one stage of the build trace (see BuildReport.Trace).
+type TraceSpan = obs.Span
+
+// Option configures Build. Options are applied in order over the
+// paper-faithful defaults. The legacy BuildOptions struct satisfies
+// Option by replacing the whole configuration, so pre-options call
+// sites — Build(opts) with a BuildOptions value — compile and behave
+// unchanged.
+type Option interface {
+	applyOption(*BuildOptions)
+}
+
+// optionFunc adapts a closure to the Option interface.
+type optionFunc func(*BuildOptions)
+
+func (f optionFunc) applyOption(o *BuildOptions) { f(o) }
+
+// applyOption makes the legacy options struct usable as an Option: it
+// replaces the entire configuration, reproducing the semantics of the
+// old Build(BuildOptions) signature (zero fields mean "default or
+// zero value" exactly as normalized() always resolved them).
+func (o BuildOptions) applyOption(dst *BuildOptions) { *dst = o }
+
+// WithSeed sets the corpus-generator and annotator seed; the same seed
+// reproduces the same database bit for bit.
+func WithSeed(seed int64) Option {
+	return optionFunc(func(o *BuildOptions) { o.Seed = seed })
+}
+
+// WithSimilarityMetric selects the title-similarity metric that ranks
+// duplicate candidates.
+func WithSimilarityMetric(m Metric) Option {
+	return optionFunc(func(o *BuildOptions) { o.SimilarityMetric = m })
+}
+
+// WithSimilarityThreshold sets the minimum title similarity for a
+// candidate pair to be reviewed. Unlike assigning the struct field, an
+// explicit 0 means "review every candidate pair" rather than falling
+// back to the default 0.6.
+func WithSimilarityThreshold(t float64) Option {
+	return optionFunc(func(o *BuildOptions) { o.SetSimilarityThreshold(t) })
+}
+
+// WithLSH switches duplicate-candidate generation to the MinHash/LSH
+// index.
+func WithLSH(on bool) Option {
+	return optionFunc(func(o *BuildOptions) { o.UseLSH = on })
+}
+
+// WithInterpolation enables or disables sequential-number disclosure
+// interpolation (the paper's configuration interpolates).
+func WithInterpolation(on bool) Option {
+	return optionFunc(func(o *BuildOptions) { o.Interpolate = on })
+}
+
+// WithAnnotationSteps sets the number of four-eyes discussion batches.
+// Unlike assigning the struct field, an explicit 0 is passed to the
+// annotation stage — which rejects it — instead of being silently
+// replaced by the default 7.
+func WithAnnotationSteps(n int) Option {
+	return optionFunc(func(o *BuildOptions) { o.SetAnnotationSteps(n) })
+}
+
+// WithParallelism bounds the worker goroutines of the parallel
+// pipeline stages (0 = GOMAXPROCS, 1 = sequential). The built database
+// is byte-identical at every value.
+func WithParallelism(n int) Option {
+	return optionFunc(func(o *BuildOptions) { o.Parallelism = n })
+}
+
+// WithObservability directs the build's metrics into reg: per-stage
+// spans (also returned as BuildReport.Trace), classify memo and
+// prefilter counters, and worker-pool queue/task counters. Pass the
+// same registry to serve.Options.Observability to expose build and
+// serving metrics on one /metrics endpoint. A nil registry disables
+// instrumentation (the default).
+func WithObservability(reg *Registry) Option {
+	return optionFunc(func(o *BuildOptions) { o.Observability = reg })
+}
+
 // BuildOptions configures the end-to-end database construction.
+//
+// Deprecated: BuildOptions remains as a compatibility shim — it
+// satisfies Option, so Build(opts) keeps working — but new code should
+// compose the With* functional options instead, which cannot get the
+// zero-value footguns wrong (see SetSimilarityThreshold and
+// SetAnnotationSteps).
 type BuildOptions struct {
 	// Seed drives the corpus generator and the annotator error
 	// processes; the same seed reproduces the same database bit for bit.
@@ -112,6 +216,10 @@ type BuildOptions struct {
 	// built database and report are byte-identical at every value —
 	// see the concurrency model in DESIGN.md.
 	Parallelism int
+	// Observability, when non-nil, receives the build's metrics and
+	// stage spans (see WithObservability). Instrumentation never
+	// changes the built database.
+	Observability *Registry
 
 	// similarityThresholdSet / annotationStepsSet distinguish explicit
 	// zero values (via the setters) from unset fields.
@@ -123,6 +231,9 @@ type BuildOptions struct {
 // assigning the field directly, an explicit zero survives option
 // normalization: every candidate pair is surfaced for review instead
 // of silently falling back to the default 0.6.
+//
+// Deprecated: use the WithSimilarityThreshold option, which has the
+// explicit-zero semantics built in.
 func (o *BuildOptions) SetSimilarityThreshold(t float64) {
 	o.SimilarityThreshold = t
 	o.similarityThresholdSet = true
@@ -132,6 +243,9 @@ func (o *BuildOptions) SetSimilarityThreshold(t float64) {
 // the field directly, an explicit zero is passed through to the
 // annotation stage — which rejects it — instead of being silently
 // replaced by the default 7.
+//
+// Deprecated: use the WithAnnotationSteps option, which has the
+// explicit-zero semantics built in.
 func (o *BuildOptions) SetAnnotationSteps(n int) {
 	o.AnnotationSteps = n
 	o.annotationStepsSet = true
@@ -179,6 +293,13 @@ type BuildReport struct {
 	// GroundTruth is the generator's hidden truth; it backs the manual
 	// review and annotation oracles and lets callers validate recovery.
 	GroundTruth *corpus.GroundTruth
+	// Trace is the per-stage span tree of this build: wall time and
+	// item counts for corpus generation, document rendering, parsing,
+	// deduplication, annotation (with classify/protocol/propagate
+	// children), disclosure inference and validation. Always present;
+	// when the build ran with WithObservability the same stage timings
+	// are also published as registry gauges.
+	Trace *TraceSpan
 }
 
 // Database is the built RemembERR database.
@@ -190,18 +311,37 @@ type Database struct {
 
 // Build runs the full pipeline: corpus generation, document rendering,
 // parsing, deduplication, classification plus simulated four-eyes
-// annotation, and disclosure-date inference.
-func Build(opts BuildOptions) (*Database, *BuildReport, error) {
+// annotation, and disclosure-date inference. With no options it builds
+// the paper-faithful default configuration (DefaultBuildOptions);
+// options are applied in order. A legacy BuildOptions value is itself
+// an Option (it replaces the whole configuration), so existing
+// Build(opts) call sites work unchanged.
+func Build(options ...Option) (*Database, *BuildReport, error) {
+	opts := DefaultBuildOptions()
+	for _, o := range options {
+		o.applyOption(&opts)
+	}
 	opts = opts.normalized()
+
+	reg := opts.Observability
+	if reg != nil {
+		parallel.Instrument(reg)
+	}
+	trace := obs.StartSpan(reg, "build")
 
 	// 1. Acquire: generate the corpus and render the documents. The
 	// generator stays sequential by design: all its sampling shares one
 	// seeded RNG stream, so per-document fan-out would change the draw
 	// order and break seed reproducibility.
+	sp := trace.StartChild("corpus")
 	gt, err := corpus.Generate(opts.Seed)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rememberr: corpus generation: %w", err)
 	}
+	sp.SetItems(len(gt.DB.Errata()))
+	sp.End()
+
+	sp = trace.StartChild("render")
 	dup := make(map[string]string)
 	for _, fe := range gt.Inventory.FieldErrors {
 		if fe.Kind == "duplicate" {
@@ -213,17 +353,23 @@ func Build(opts BuildOptions) (*Database, *BuildReport, error) {
 		}
 	}
 	texts := specdoc.WriteAllParallel(gt.DB, specdoc.WriteOptions{DuplicateFields: dup}, opts.Parallelism)
+	sp.SetItems(len(texts))
+	sp.End()
 
 	// 2. Parse.
+	sp = trace.StartChild("parse")
 	db, diags, err := specdoc.ParseAllParallel(texts, opts.Parallelism)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rememberr: parse: %w", err)
 	}
+	sp.SetItems(len(texts))
+	sp.End()
 
-	rep := &BuildReport{Diagnostics: diags, GroundTruth: gt}
+	rep := &BuildReport{Diagnostics: diags, GroundTruth: gt, Trace: trace}
 
 	// 3. Deduplicate. The manual-review oracle is backed by the ground
 	// truth, standing in for the paper's extensive manual inspection.
+	sp = trace.StartChild("dedup")
 	truthKey := make(map[string]string)
 	for _, e := range gt.DB.Errata() {
 		truthKey[corpus.EntryRef(e)] = e.Key
@@ -247,8 +393,11 @@ func Build(opts BuildOptions) (*Database, *BuildReport, error) {
 		return nil, nil, fmt.Errorf("rememberr: dedup: %w", err)
 	}
 	rep.Dedup = dres
+	sp.SetItems(len(dres.Reviewed))
+	sp.End()
 
 	// 4. Classify and annotate (regex filter + simulated four eyes).
+	sp = trace.StartChild("annotate")
 	truthAnn := make(map[string]*core.Annotation)
 	for _, e := range gt.DB.Errata() {
 		ann := e.Ann
@@ -261,21 +410,30 @@ func Build(opts BuildOptions) (*Database, *BuildReport, error) {
 	aopts.Seed = opts.Seed
 	aopts.Steps = opts.AnnotationSteps
 	aopts.Workers = opts.Parallelism
+	aopts.Trace = sp
 	if opts.AnnotationSteps != 7 && opts.AnnotationSteps > 0 {
 		aopts.StepFractions = uniformFractions(opts.AnnotationSteps)
 	}
-	ares, err := annotate.Run(db, classify.NewEngine(), truth, aopts)
+	ares, err := annotate.Run(db, classify.NewEngineConfig(classify.Config{
+		Prefilter: true, Memo: true, Obs: reg,
+	}), truth, aopts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rememberr: annotate: %w", err)
 	}
 	rep.Annotation = ares
+	sp.End()
 
 	// 5. Infer disclosure dates.
+	sp = trace.StartChild("timeline")
 	rep.Timeline = timeline.InferDisclosures(db, timeline.Options{Interpolate: opts.Interpolate})
+	sp.End()
 
+	sp = trace.StartChild("validate")
 	if err := db.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("rememberr: validation: %w", err)
 	}
+	sp.End()
+	trace.End()
 	return &Database{core: db, report: rep}, rep, nil
 }
 

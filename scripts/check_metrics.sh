@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# check_metrics.sh — end-to-end observability smoke test.
+#
+# Boots errserve on a private port, scrapes /metrics and the v1 API,
+# and validates the exposition output without requiring promtool: every
+# non-comment line must look like
+#
+#   metric_name{label="value",...} <number>
+#
+# and the families the obs layer promises (HTTP latency histograms,
+# cache counters, build-stage gauges) must be present. Exits non-zero
+# on any violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${CHECK_METRICS_PORT:-18372}"
+ADDR="127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/errserve"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/errserve
+"$BIN" -addr "$ADDR" -seed 1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    if curl -fsS "http://${ADDR}/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+curl -fsS "http://${ADDR}/healthz" >/dev/null
+
+# Drive every endpoint class once so their series materialize.
+curl -fsS "http://${ADDR}/v1/errata?limit=1" | grep -q '"total"'
+curl -fsS "http://${ADDR}/v1/stats" >/dev/null
+curl -fsS "http://${ADDR}/v1/metrics.json" | grep -q '"endpoints"'
+# Legacy paths must answer 308 with a /v1 Location.
+code_loc=$(curl -s -o /dev/null -w '%{http_code} %{redirect_url}' "http://${ADDR}/errata?limit=1")
+case "$code_loc" in
+    "308 "*"/v1/errata?limit=1") ;;
+    *) echo "FAIL: /errata redirect gave: $code_loc" >&2; exit 1 ;;
+esac
+
+EXPO=$(curl -fsS "http://${ADDR}/metrics")
+
+# Line-level format validation (promtool-free).
+echo "$EXPO" | awk '
+    /^#( HELP| TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*/ { next }
+    /^#/ { print "FAIL: bad comment line: " $0; bad = 1; next }
+    /^$/ { next }
+    {
+        if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9.e+-]+|\+Inf|-Inf|NaN)$/) {
+            print "FAIL: malformed sample line: " $0
+            bad = 1
+        }
+    }
+    END { exit bad }
+'
+
+# Family presence: the single shared registry must expose build, cache,
+# classifier and HTTP metrics on one page.
+for want in \
+    'rememberr_http_requests_total{endpoint="errata"}' \
+    '# TYPE rememberr_http_request_duration_seconds histogram' \
+    'rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="+Inf"}' \
+    'rememberr_cache_hits_total' \
+    'rememberr_cache_misses_total' \
+    'rememberr_cache_entries' \
+    'rememberr_classify_memo_hits_total' \
+    'rememberr_build_stage_seconds{stage="dedup"}' \
+    'rememberr_parallel_tasks_total'
+do
+    if ! grep -qF "$want" <<<"$EXPO"; then
+        echo "FAIL: /metrics missing: $want" >&2
+        exit 1
+    fi
+done
+
+echo "OK: /metrics format and required families validated on $ADDR"
