@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-classify check-metrics fuzz-short cover
+.PHONY: build test race bench bench-classify bench-pipeline check-metrics fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ bench:
 # prefilter+memo); emits BENCH_classify.json for the perf trajectory.
 bench-classify:
 	./scripts/bench_classify.sh
+
+# Stage-graph pipeline benchmarks (cold build vs warm replay vs
+# single-knob rebuild); emits BENCH_pipeline.json with speedup ratios.
+bench-pipeline:
+	./scripts/bench_pipeline.sh
 
 # End-to-end /metrics exposition check against a live errserve.
 check-metrics:

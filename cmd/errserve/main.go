@@ -2,18 +2,22 @@
 //
 // Usage:
 //
-//	errserve [-db FILE | -seed N] [-addr :8372] [-cache N] [-timeout D] [-pprof]
+//	errserve [-db FILE | -seed N] [-addr :8372] [-cache N] [-cache-dir D] [-timeout D] [-pprof]
 //
 // The database is either loaded from a previously saved JSON file
 // (".gz" supported, see 'rememberr build') or built from the synthetic
-// corpus with the given seed. The server answers JSON on:
+// corpus with the given seed. With -cache-dir the build goes through
+// the content-addressed pipeline cache, so restarts and reloads replay
+// unchanged stages instead of recomputing them. The server answers
+// JSON on:
 //
-//	GET /v1/errata        filtered queries (?vendor=Intel&category=...)
-//	GET /v1/errata/{key}  all occurrences of one deduplicated erratum
-//	GET /v1/stats         corpus statistics
-//	GET /v1/metrics.json  JSON snapshot of the server's instruments
-//	GET /healthz          liveness probe
-//	GET /metrics          Prometheus text exposition
+//	GET  /v1/errata        filtered queries (?vendor=Intel&category=...)
+//	GET  /v1/errata/{key}  all occurrences of one deduplicated erratum
+//	GET  /v1/stats         corpus statistics
+//	GET  /v1/metrics.json  JSON snapshot of the server's instruments
+//	POST /v1/admin/reload  rebuild/reload the database and swap it in
+//	GET  /healthz          liveness probe
+//	GET  /metrics          Prometheus text exposition
 //
 // Unversioned /errata, /errata/{key} and /stats answer 308 redirects
 // to the /v1 paths. One obs registry is shared between the build
@@ -21,8 +25,11 @@
 // build-stage timings and classifier counters alongside the HTTP
 // metrics. -pprof additionally mounts net/http/pprof on /debug/pprof/.
 //
-// It shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests.
+// SIGHUP triggers the same zero-downtime reload as POST
+// /v1/admin/reload: the database is rebuilt (or re-read from -db) in
+// the background and atomically swapped in; in-flight requests keep
+// the snapshot they started with. It shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	rememberr "repro"
+	"repro/internal/core"
 	"repro/internal/serve"
 )
 
@@ -45,43 +53,84 @@ func main() {
 	seed := fs.Int64("seed", 1, "corpus generator seed (when building)")
 	par := fs.Int("parallelism", 0, "pipeline worker goroutines (0 = all CPUs, 1 = sequential)")
 	cacheSize := fs.Int("cache", 256, "query result cache capacity (negative disables)")
+	cacheDir := fs.String("cache-dir", "", "pipeline artifact cache directory (incremental rebuilds)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request handler timeout")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof on /debug/pprof/")
 	fs.Parse(os.Args[1:])
 
-	if err := run(*addr, *dbFile, *seed, *par, *cacheSize, *timeout, *enablePprof); err != nil {
+	if err := run(*addr, *dbFile, *seed, *par, *cacheSize, *cacheDir, *timeout, *enablePprof); err != nil {
 		fmt.Fprintln(os.Stderr, "errserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbFile string, seed int64, par, cacheSize int, timeout time.Duration, enablePprof bool) error {
+func run(addr, dbFile string, seed int64, par, cacheSize int, cacheDir string, timeout time.Duration, enablePprof bool) error {
 	reg := rememberr.NewRegistry()
-	var db *rememberr.Database
-	var err error
-	if dbFile != "" {
-		db, err = rememberr.Load(dbFile)
-	} else {
-		db, _, err = rememberr.Build(
+
+	// source produces a fresh *core.Database: from the saved file when
+	// -db is given, otherwise by building from the corpus seed. The
+	// same function backs the initial load, POST /v1/admin/reload and
+	// SIGHUP, so a reload picks up an updated -db file, and a rebuild
+	// with -cache-dir replays every unchanged pipeline stage.
+	source := func(context.Context) (*core.Database, error) {
+		if dbFile != "" {
+			db, err := rememberr.Load(dbFile)
+			if err != nil {
+				return nil, err
+			}
+			return db.Core(), nil
+		}
+		opts := []rememberr.Option{
 			rememberr.WithSeed(seed),
 			rememberr.WithParallelism(par),
 			rememberr.WithObservability(reg),
-		)
+		}
+		if cacheDir != "" {
+			opts = append(opts, rememberr.WithCache(cacheDir))
+		}
+		db, _, err := rememberr.Build(opts...)
+		if err != nil {
+			return nil, err
+		}
+		return db.Core(), nil
 	}
+
+	db, err := source(context.Background())
 	if err != nil {
 		return err
 	}
 
-	srv := serve.New(db.Core(), serve.Options{
+	srv := serve.New(db, serve.Options{
 		CacheSize:       cacheSize,
 		RequestTimeout:  timeout,
 		Observability:   reg,
 		EnableProfiling: enablePprof,
+		Reloader:        source,
 	})
-	st := db.Stats()
+	st := db.ComputeStats()
 	fmt.Printf("serving %d errata (%d unique) on %s\n", st.Total, st.Unique, addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				gen, err := srv.Reload(ctx)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "errserve: SIGHUP reload:", err)
+					continue
+				}
+				fmt.Printf("reloaded database (generation %d)\n", gen)
+			}
+		}
+	}()
+
 	return srv.Serve(ctx, addr)
 }

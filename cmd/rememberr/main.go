@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rememberr build   [-seed N] [-o db.json] [-trace]  build and save the database
+//	rememberr build   [-seed N] [-o db.json] [-cache-dir D] [-trace]  build and save
 //	rememberr stats   [-seed N | -db F]              print corpus statistics
 //	rememberr experiment <id>|all|ext [-csv-dir D] [-svg-dir D]
 //	rememberr list                                   list experiment identifiers
@@ -100,7 +100,9 @@ commands:
   taxonomy       print the 60-category classification scheme (Tables IV-VI)
 
 common flags: -seed N (build seed), -db FILE (load saved JSON instead),
-              -parallelism N (pipeline workers; 0 = all CPUs, 1 = sequential)
+              -parallelism N (pipeline workers; 0 = all CPUs, 1 = sequential),
+              -cache-dir D (content-addressed pipeline cache; warm rebuilds
+              replay unchanged stages)
 `)
 }
 
@@ -108,6 +110,7 @@ func buildDB(fs *flag.FlagSet, args []string) (*rememberr.Database, error) {
 	seed := fs.Int64("seed", 1, "corpus generator seed")
 	dbFile := fs.String("db", "", "load a saved database JSON instead of building")
 	par := fs.Int("parallelism", 0, "pipeline worker goroutines (0 = all CPUs, 1 = sequential)")
+	cacheDir := fs.String("cache-dir", "", "pipeline artifact cache directory (incremental rebuilds)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -117,6 +120,7 @@ func buildDB(fs *flag.FlagSet, args []string) (*rememberr.Database, error) {
 	opts := rememberr.DefaultBuildOptions()
 	opts.Seed = *seed
 	opts.Parallelism = *par
+	opts.CacheDir = *cacheDir
 	db, _, err := rememberr.Build(opts)
 	return db, err
 }
@@ -126,14 +130,19 @@ func cmdBuild(args []string) error {
 	out := fs.String("o", "rememberr.json", "output file")
 	seed := fs.Int64("seed", 1, "corpus generator seed")
 	par := fs.Int("parallelism", 0, "pipeline worker goroutines (0 = all CPUs, 1 = sequential)")
+	cacheDir := fs.String("cache-dir", "", "pipeline artifact cache directory (incremental rebuilds)")
 	trace := fs.Bool("trace", false, "print the per-stage build timing tree")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	db, rep, err := rememberr.Build(
+	buildOpts := []rememberr.Option{
 		rememberr.WithSeed(*seed),
 		rememberr.WithParallelism(*par),
-	)
+	}
+	if *cacheDir != "" {
+		buildOpts = append(buildOpts, rememberr.WithCache(*cacheDir))
+	}
+	db, rep, err := rememberr.Build(buildOpts...)
 	if err != nil {
 		return err
 	}
@@ -157,6 +166,9 @@ func printTrace(sp *rememberr.TraceSpan, depth int) {
 	fmt.Printf("%*s%-10s %12s", depth*2, "", sp.Name, time.Duration(sp.DurationNS).Round(time.Microsecond))
 	if sp.Items > 0 {
 		fmt.Printf("  (%d items)", sp.Items)
+	}
+	if sp.Cached {
+		fmt.Printf("  [cached]")
 	}
 	fmt.Println()
 	for _, c := range sp.Children {

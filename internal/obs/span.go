@@ -28,6 +28,10 @@ type Span struct {
 	Items int `json:"items,omitempty"`
 	// Children are the nested stages, in start order.
 	Children []*Span `json:"children,omitempty"`
+	// Cached marks a stage that was replayed from the pipeline's
+	// content-addressed cache instead of running; its duration is the
+	// cache-probe time, and Items comes from the cached metadata.
+	Cached bool `json:"cached,omitempty"`
 
 	start time.Time
 	reg   *Registry
@@ -56,6 +60,14 @@ func (s *Span) SetItems(n int) {
 		return
 	}
 	s.Items = n
+}
+
+// SetCached marks the stage as satisfied from cache.
+func (s *Span) SetCached(cached bool) {
+	if s == nil {
+		return
+	}
+	s.Cached = cached
 }
 
 // End stops the span, fixing its duration and publishing the stage

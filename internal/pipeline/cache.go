@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Meta is the sidecar metadata stored with each cache entry.
+type Meta struct {
+	// Digest is the sha256 of the artifact bytes, hex-encoded. Reads
+	// verify it, so a corrupted object degrades to a cache miss rather
+	// than poisoning a build.
+	Digest string `json:"digest"`
+	// Items is the stage's reported item count, replayed onto the span
+	// of a cached stage.
+	Items int `json:"items,omitempty"`
+	// Bytes is the artifact size.
+	Bytes int `json:"bytes"`
+}
+
+// Cache stores encoded stage artifacts under content-addressed keys.
+// Implementations must be safe for sequential use by one Runner;
+// DiskCache additionally tolerates concurrent builds sharing one
+// directory (writes are temp-file+rename atomic).
+type Cache interface {
+	// Get returns the artifact bytes for key. A missing, unreadable, or
+	// corrupt entry reports ok=false — cache trouble is never a build
+	// error on the read path.
+	Get(key string) (raw []byte, meta Meta, ok bool)
+	// Put stores the artifact under key.
+	Put(key string, raw []byte, meta Meta) error
+}
+
+// DiskCache is a two-level on-disk cache:
+//
+//	dir/objects/<digest>  artifact bytes, named by their own sha256
+//	dir/keys/<cachekey>   JSON Meta pointing at the object
+//
+// Separating keys from objects means a stage that re-runs under a new
+// key but produces identical bytes stores nothing new (and downstream
+// keys, chained on the digest, still hit).
+type DiskCache struct {
+	dir string
+}
+
+// NewDiskCache opens (creating if needed) a cache rooted at dir.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	for _, sub := range []string{"objects", "keys"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("pipeline: create cache dir: %w", err)
+		}
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+func (c *DiskCache) keyPath(key string) string {
+	return filepath.Join(c.dir, "keys", sanitize(key))
+}
+
+func (c *DiskCache) objectPath(digest string) string {
+	return filepath.Join(c.dir, "objects", sanitize(digest))
+}
+
+// sanitize keeps cache file names to a safe hex-ish alphabet; keys and
+// digests are hex already, this is defense against future key schemes.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+func (c *DiskCache) Get(key string) ([]byte, Meta, bool) {
+	var meta Meta
+	mb, err := os.ReadFile(c.keyPath(key))
+	if err != nil || json.Unmarshal(mb, &meta) != nil || meta.Digest == "" {
+		return nil, Meta{}, false
+	}
+	raw, err := os.ReadFile(c.objectPath(meta.Digest))
+	if err != nil || digestOf(raw) != meta.Digest {
+		return nil, Meta{}, false
+	}
+	return raw, meta, true
+}
+
+func (c *DiskCache) Put(key string, raw []byte, meta Meta) error {
+	// Always rewrite the object (atomically): skipping an existing file
+	// would preserve a corrupted object forever, and warm builds never
+	// reach Put anyway.
+	if err := writeAtomic(c.objectPath(meta.Digest), raw); err != nil {
+		return err
+	}
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	return writeAtomic(c.keyPath(key), mb)
+}
+
+// writeAtomic writes via a temp file in the same directory plus rename,
+// so concurrent builds sharing a cache never observe partial entries.
+func writeAtomic(path string, b []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// MemCache is an in-memory Cache for tests.
+type MemCache struct {
+	mu      sync.Mutex
+	objects map[string][]byte
+	keys    map[string]Meta
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache {
+	return &MemCache{objects: make(map[string][]byte), keys: make(map[string]Meta)}
+}
+
+func (c *MemCache) Get(key string) ([]byte, Meta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	meta, ok := c.keys[key]
+	if !ok {
+		return nil, Meta{}, false
+	}
+	raw, ok := c.objects[meta.Digest]
+	if !ok || digestOf(raw) != meta.Digest {
+		return nil, Meta{}, false
+	}
+	return raw, meta, true
+}
+
+func (c *MemCache) Put(key string, raw []byte, meta Meta) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.objects[meta.Digest] = append([]byte(nil), raw...)
+	c.keys[key] = meta
+	return nil
+}

@@ -1,0 +1,320 @@
+// Package pipeline runs a directed acyclic graph of named build stages
+// with content-addressed memoization.
+//
+// Each Stage declares its inputs (by stage id), a code-version string,
+// a config fingerprint, and a pure Run function. The Runner executes
+// the stages in dependency order; when a Cache is attached, every
+// stage's output artifact is encoded deterministically and stored under
+// a cache key derived from
+//
+//	sha256("pipeline/v1\n" + id + "\n" + version + "\n" + config +
+//	       "\n" + digest(input_1) + ... + digest(input_n))
+//
+// so a warm rebuild replays every stage whose key is unchanged straight
+// from disk and re-runs only the affected suffix of the graph. Because
+// keys chain through input *artifact* digests rather than through
+// "did my input re-run", a stage that re-runs but produces identical
+// bytes still lets everything downstream hit (early cutoff).
+//
+// The runner is deliberately sequential: stages themselves parallelize
+// internally (via internal/parallel), and the byte-identity contract of
+// the build — same output at every worker count — is much easier to
+// audit when stage order is fixed. With a nil Cache the runner adds no
+// hashing or encoding work; the cold path stays the plain function
+// composition it always was.
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Stage is one node of the build graph. Stages must be pure up to their
+// declared Config: given the same input artifacts and config they must
+// produce byte-identical encoded output. A stage may take ownership of
+// its in-memory input values (the build stages mutate a shared database
+// in place, monolith-style); the runner encodes every artifact before
+// the next stage runs, so the cached bytes are immune to later
+// mutation.
+type Stage struct {
+	// ID names the stage; it is the span name and the metric label.
+	ID string
+	// Version is a hand-bumped code-version string. Bump it whenever
+	// the stage's implementation changes observable output, so stale
+	// cache entries are never replayed.
+	Version string
+	// Inputs are the ids of the stages whose outputs this stage
+	// consumes, in the order Ctx.Input expects them.
+	Inputs []string
+	// Config is a deterministic fingerprint of every knob that affects
+	// the stage's output. Parallelism is deliberately excluded: the
+	// build contract is byte-identical output at every worker count.
+	Config string
+	// Run computes the stage's value from its inputs.
+	Run func(*Ctx) (any, error)
+	// Encode serializes the value deterministically for the cache.
+	Encode func(any) ([]byte, error)
+	// Decode revives a cached artifact.
+	Decode func([]byte) (any, error)
+}
+
+// Ctx is handed to Stage.Run.
+type Ctx struct {
+	runner *Runner
+	stage  *Stage
+	inputs []*artifact
+	span   *obs.Span
+	items  int
+}
+
+// Input returns the materialized value of the i'th declared input.
+func (c *Ctx) Input(i int) (any, error) {
+	return c.inputs[i].value(c.runner)
+}
+
+// SetItems records the stage's item count on its span and in the cache
+// metadata, so cached replays report the same count.
+func (c *Ctx) SetItems(n int) {
+	c.items = n
+	c.span.SetItems(n)
+}
+
+// Span returns the stage's span, for stages that record child spans.
+func (c *Ctx) Span() *obs.Span {
+	return c.span
+}
+
+// artifact is one stage's output: the live value when the stage ran (or
+// has been materialized), plus the encoded bytes and their digest when
+// a cache is attached. Cached stages stay as undecoded bytes until a
+// downstream consumer asks for the value.
+type artifact struct {
+	stage   *Stage
+	val     any
+	haveVal bool
+	raw     []byte // encoded bytes; nil when no cache is attached
+	digest  string
+	items   int
+	cached  bool
+}
+
+func (a *artifact) value(r *Runner) (any, error) {
+	if !a.haveVal {
+		v, err := a.stage.Decode(a.raw)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: decode cached %s artifact: %w", a.stage.ID, err)
+		}
+		a.val = v
+		a.haveVal = true
+	}
+	return a.val, nil
+}
+
+// Runner executes stage graphs. Cache and Obs are both optional; the
+// zero Runner is a plain sequential executor.
+type Runner struct {
+	// Cache, when non-nil, memoizes stage outputs across runs.
+	Cache Cache
+	// Obs receives cache-hit/miss counters, artifact-size gauges, and
+	// the per-stage spans. May be nil.
+	Obs *obs.Registry
+}
+
+// Result is one finished run: the root span and every stage's artifact.
+type Result struct {
+	// Trace is the root span; each stage is one child, in execution
+	// order, with Cached set on replayed stages.
+	Trace *obs.Span
+
+	runner    *Runner
+	artifacts map[string]*artifact
+}
+
+// Value materializes and returns the output of stage id.
+func (r *Result) Value(id string) (any, error) {
+	a, ok := r.artifacts[id]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: no stage %q in result", id)
+	}
+	return a.value(r.runner)
+}
+
+// Cached reports whether stage id was replayed from the cache.
+func (r *Result) Cached(id string) bool {
+	a, ok := r.artifacts[id]
+	return ok && a.cached
+}
+
+// Digest returns the content digest of stage id's encoded artifact
+// (empty when the run had no cache attached).
+func (r *Result) Digest(id string) string {
+	a, ok := r.artifacts[id]
+	if !ok {
+		return ""
+	}
+	return a.digest
+}
+
+// sort orders stages topologically, stable in declaration order (Kahn's
+// algorithm taking the earliest-declared ready stage first).
+func sortStages(stages []*Stage) ([]*Stage, error) {
+	byID := make(map[string]*Stage, len(stages))
+	for _, s := range stages {
+		if s.ID == "" {
+			return nil, fmt.Errorf("pipeline: stage with empty id")
+		}
+		if _, dup := byID[s.ID]; dup {
+			return nil, fmt.Errorf("pipeline: duplicate stage id %q", s.ID)
+		}
+		byID[s.ID] = s
+	}
+	indeg := make(map[string]int, len(stages))
+	for _, s := range stages {
+		for _, in := range s.Inputs {
+			if _, ok := byID[in]; !ok {
+				return nil, fmt.Errorf("pipeline: stage %q depends on unknown stage %q", s.ID, in)
+			}
+			indeg[s.ID]++
+		}
+	}
+	order := make([]*Stage, 0, len(stages))
+	done := make(map[string]bool, len(stages))
+	for len(order) < len(stages) {
+		progressed := false
+		for _, s := range stages {
+			if done[s.ID] || indeg[s.ID] > 0 {
+				continue
+			}
+			order = append(order, s)
+			done[s.ID] = true
+			progressed = true
+			for _, t := range stages {
+				for _, in := range t.Inputs {
+					if in == s.ID {
+						indeg[t.ID]--
+					}
+				}
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("pipeline: dependency cycle among stages")
+		}
+	}
+	return order, nil
+}
+
+// cacheKey derives the content-addressed key for one stage execution.
+func cacheKey(s *Stage, inputs []*artifact) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "pipeline/v1\n%s\n%s\n%s\n", s.ID, s.Version, s.Config)
+	for _, in := range inputs {
+		fmt.Fprintf(h, "%s\n", in.digest)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func digestOf(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Run executes the graph and returns the per-stage artifacts under a
+// root span named rootName. Stage errors are returned as-is (stages
+// wrap their own errors), after ending the open spans so the partial
+// trace is still coherent.
+func (r *Runner) Run(rootName string, stages []*Stage) (*Result, error) {
+	order, err := sortStages(stages)
+	if err != nil {
+		return nil, err
+	}
+	root := obs.StartSpan(r.Obs, rootName)
+	res := &Result{Trace: root, runner: r, artifacts: make(map[string]*artifact, len(order))}
+	defer root.End()
+
+	for _, s := range order {
+		inputs := make([]*artifact, len(s.Inputs))
+		for i, in := range s.Inputs {
+			inputs[i] = res.artifacts[in]
+		}
+		sp := root.StartChild(s.ID)
+		a, err := r.runStage(s, inputs, sp)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		res.artifacts[s.ID] = a
+	}
+	return res, nil
+}
+
+func (r *Runner) runStage(s *Stage, inputs []*artifact, sp *obs.Span) (*artifact, error) {
+	if r.Cache == nil {
+		// Cold fast path: no keys, no encoding, no hashing.
+		ctx := &Ctx{runner: r, stage: s, inputs: inputs, span: sp}
+		v, err := s.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &artifact{stage: s, val: v, haveVal: true, items: ctx.items}, nil
+	}
+
+	key := cacheKey(s, inputs)
+	if raw, meta, ok := r.Cache.Get(key); ok {
+		sp.SetCached(true)
+		sp.SetItems(meta.Items)
+		r.observe(s.ID, true, len(raw))
+		return &artifact{stage: s, raw: raw, digest: meta.Digest, items: meta.Items, cached: true}, nil
+	}
+
+	ctx := &Ctx{runner: r, stage: s, inputs: inputs, span: sp}
+	v, err := s.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := s.Encode(v)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: encode %s artifact: %w", s.ID, err)
+	}
+	a := &artifact{stage: s, val: v, haveVal: true, raw: raw, digest: digestOf(raw), items: ctx.items}
+	if err := r.Cache.Put(key, raw, Meta{Digest: a.digest, Items: a.items, Bytes: len(raw)}); err != nil {
+		return nil, fmt.Errorf("pipeline: cache %s artifact: %w", s.ID, err)
+	}
+	r.observe(s.ID, false, len(raw))
+	return a, nil
+}
+
+func (r *Runner) observe(stage string, hit bool, size int) {
+	if r.Obs == nil {
+		return
+	}
+	if hit {
+		r.Obs.Counter("rememberr_pipeline_stage_cache_hits_total",
+			"Build stages replayed from the content-addressed pipeline cache.",
+			obs.L("stage", stage)).Add(1)
+	} else {
+		r.Obs.Counter("rememberr_pipeline_stage_cache_misses_total",
+			"Build stages executed because no cached artifact matched.",
+			obs.L("stage", stage)).Add(1)
+	}
+	r.Obs.Gauge("rememberr_pipeline_artifact_bytes",
+		"Encoded size of each stage's most recent build artifact.",
+		obs.L("stage", stage)).Set(float64(size))
+}
+
+// Fingerprint joins config knob strings into a stage Config value with
+// an unambiguous (length-prefixed) encoding, so adjacent fields can
+// never collide by concatenation.
+func Fingerprint(parts ...string) string {
+	out := make([]byte, 0, 32)
+	for _, p := range parts {
+		out = strconv.AppendInt(out, int64(len(p)), 10)
+		out = append(out, ':')
+		out = append(out, p...)
+		out = append(out, ';')
+	}
+	return string(out)
+}

@@ -1,0 +1,414 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// intStage builds a stage whose artifact is a JSON int. runs and
+// decodes count invocations so tests can assert what executed.
+func intStage(id, version, config string, inputs []string, fn func(in []int) int, runs, decodes *atomic.Int64) *Stage {
+	return &Stage{
+		ID:      id,
+		Version: version,
+		Inputs:  inputs,
+		Config:  config,
+		Run: func(c *Ctx) (any, error) {
+			vals := make([]int, len(inputs))
+			for i := range inputs {
+				v, err := c.Input(i)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v.(int)
+			}
+			if runs != nil {
+				runs.Add(1)
+			}
+			n := fn(vals)
+			c.SetItems(n)
+			return n, nil
+		},
+		Encode: func(v any) ([]byte, error) { return json.Marshal(v.(int)) },
+		Decode: func(b []byte) (any, error) {
+			if decodes != nil {
+				decodes.Add(1)
+			}
+			var n int
+			err := json.Unmarshal(b, &n)
+			return n, err
+		},
+	}
+}
+
+func chainStages(runs map[string]*atomic.Int64) []*Stage {
+	counter := func(id string) *atomic.Int64 {
+		if runs == nil {
+			return nil
+		}
+		c := &atomic.Int64{}
+		runs[id] = c
+		return c
+	}
+	return []*Stage{
+		intStage("a", "v1", "seed=3", nil, func([]int) int { return 3 }, counter("a"), nil),
+		intStage("b", "v1", "", []string{"a"}, func(in []int) int { return in[0] * 10 }, counter("b"), nil),
+		intStage("c", "v1", "add=7", []string{"b"}, func(in []int) int { return in[0] + 7 }, counter("c"), nil),
+	}
+}
+
+func TestRunnerNoCache(t *testing.T) {
+	runs := map[string]*atomic.Int64{}
+	r := &Runner{}
+	res, err := r.Run("build", chainStages(runs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.Value("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 37 {
+		t.Fatalf("c = %v, want 37", v)
+	}
+	for id, c := range runs {
+		if c.Load() != 1 {
+			t.Errorf("stage %s ran %d times, want 1", id, c.Load())
+		}
+	}
+	if res.Cached("a") || res.Cached("b") || res.Cached("c") {
+		t.Error("no-cache run reported cached stages")
+	}
+	if res.Digest("a") != "" {
+		t.Error("no-cache run produced a digest")
+	}
+	// Trace: root with one child per stage, in order, none cached.
+	if res.Trace == nil || res.Trace.Name != "build" {
+		t.Fatalf("bad root span: %+v", res.Trace)
+	}
+	var names []string
+	for _, c := range res.Trace.Children {
+		names = append(names, c.Name)
+		if c.Cached {
+			t.Errorf("span %s marked cached", c.Name)
+		}
+		if c.DurationNS == 0 {
+			t.Errorf("span %s not ended", c.Name)
+		}
+	}
+	if got := strings.Join(names, ","); got != "a,b,c" {
+		t.Fatalf("span order %q, want a,b,c", got)
+	}
+	if res.Trace.Children[0].Items != 3 {
+		t.Errorf("span a items = %d, want 3", res.Trace.Children[0].Items)
+	}
+}
+
+func TestRunnerMemoization(t *testing.T) {
+	cache := NewMemCache()
+	reg := obs.NewRegistry()
+
+	runs1 := map[string]*atomic.Int64{}
+	r := &Runner{Cache: cache, Obs: reg}
+	if _, err := r.Run("build", chainStages(runs1)); err != nil {
+		t.Fatal(err)
+	}
+
+	runs2 := map[string]*atomic.Int64{}
+	res, err := r.Run("build", chainStages(runs2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range runs2 {
+		if c.Load() != 0 {
+			t.Errorf("warm run executed stage %s", id)
+		}
+		if !res.Cached(id) {
+			t.Errorf("warm run did not report %s cached", id)
+		}
+	}
+	v, err := res.Value("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 37 {
+		t.Fatalf("warm c = %v, want 37", v)
+	}
+	// Spans carry cached flag and replayed item counts.
+	for _, sp := range res.Trace.Children {
+		if !sp.Cached {
+			t.Errorf("warm span %s not marked cached", sp.Name)
+		}
+	}
+	if res.Trace.Children[2].Items != 37 {
+		t.Errorf("cached span items = %d, want 37", res.Trace.Children[2].Items)
+	}
+	if h := reg.Counter("rememberr_pipeline_stage_cache_hits_total", "", obs.L("stage", "c")).Value(); h != 1 {
+		t.Errorf("hit counter for c = %v, want 1", h)
+	}
+	if m := reg.Counter("rememberr_pipeline_stage_cache_misses_total", "", obs.L("stage", "c")).Value(); m != 1 {
+		t.Errorf("miss counter for c = %v, want 1", m)
+	}
+}
+
+// TestRunnerSuffixRerun changes only a downstream knob: the prefix must
+// replay from cache and only the suffix re-run.
+func TestRunnerSuffixRerun(t *testing.T) {
+	cache := NewMemCache()
+	r := &Runner{Cache: cache}
+	if _, err := r.Run("build", chainStages(nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	runs := map[string]*atomic.Int64{}
+	stages := chainStages(runs)
+	stages[2].Config = "add=8"
+	stages[2].Run = func(c *Ctx) (any, error) {
+		v, err := c.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		runs["c"].Add(1)
+		return v.(int) + 8, nil
+	}
+	res, err := r.Run("build", stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs["a"].Load() != 0 || runs["b"].Load() != 0 {
+		t.Errorf("prefix re-ran: a=%d b=%d", runs["a"].Load(), runs["b"].Load())
+	}
+	if runs["c"].Load() != 1 {
+		t.Errorf("suffix ran %d times, want 1", runs["c"].Load())
+	}
+	if !res.Cached("a") || !res.Cached("b") || res.Cached("c") {
+		t.Errorf("cached flags: a=%v b=%v c=%v", res.Cached("a"), res.Cached("b"), res.Cached("c"))
+	}
+	if v, _ := res.Value("c"); v.(int) != 38 {
+		t.Fatalf("c = %v, want 38", v)
+	}
+}
+
+// TestRunnerEarlyCutoff re-runs an upstream stage under a changed
+// version; because its bytes are unchanged, downstream keys still hit.
+func TestRunnerEarlyCutoff(t *testing.T) {
+	cache := NewMemCache()
+	r := &Runner{Cache: cache}
+	if _, err := r.Run("build", chainStages(nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	runs := map[string]*atomic.Int64{}
+	stages := chainStages(runs)
+	stages[0].Version = "v2" // forces stage a to re-run, same output
+	res, err := r.Run("build", stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs["a"].Load() != 1 {
+		t.Errorf("a ran %d times, want 1", runs["a"].Load())
+	}
+	if runs["b"].Load() != 0 || runs["c"].Load() != 0 {
+		t.Errorf("downstream re-ran despite identical upstream bytes: b=%d c=%d",
+			runs["b"].Load(), runs["c"].Load())
+	}
+	if !res.Cached("b") || !res.Cached("c") {
+		t.Error("downstream stages not cached after early cutoff")
+	}
+}
+
+// TestRunnerLazyDecode: cached artifacts are decoded only when a live
+// consumer (or Value) needs them.
+func TestRunnerLazyDecode(t *testing.T) {
+	cache := NewMemCache()
+	var decodes atomic.Int64
+	mk := func() []*Stage {
+		return []*Stage{
+			intStage("a", "v1", "", nil, func([]int) int { return 1 }, nil, &decodes),
+			intStage("b", "v1", "", []string{"a"}, func(in []int) int { return in[0] + 1 }, nil, &decodes),
+		}
+	}
+	r := &Runner{Cache: cache}
+	if _, err := r.Run("build", mk()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run("build", mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decodes.Load() != 0 {
+		t.Fatalf("warm run decoded %d artifacts before any Value call", decodes.Load())
+	}
+	if _, err := res.Value("b"); err != nil {
+		t.Fatal(err)
+	}
+	if decodes.Load() != 1 {
+		t.Fatalf("Value(b) decoded %d artifacts, want exactly 1", decodes.Load())
+	}
+}
+
+func TestSortStagesErrors(t *testing.T) {
+	mk := func(id string, inputs ...string) *Stage {
+		return &Stage{ID: id, Inputs: inputs, Run: func(*Ctx) (any, error) { return nil, nil }}
+	}
+	cases := []struct {
+		name   string
+		stages []*Stage
+		want   string
+	}{
+		{"unknown input", []*Stage{mk("a", "ghost")}, "unknown stage"},
+		{"cycle", []*Stage{mk("a", "b"), mk("b", "a")}, "cycle"},
+		{"dup id", []*Stage{mk("a"), mk("a")}, "duplicate"},
+		{"empty id", []*Stage{mk("")}, "empty id"},
+	}
+	for _, tc := range cases {
+		if _, err := sortStages(tc.stages); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+	// Declaration order is preserved among ready stages, regardless of
+	// declaration position of dependencies.
+	order, err := sortStages([]*Stage{mk("z", "a"), mk("m"), mk("a", "m")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, s := range order {
+		ids = append(ids, s.ID)
+	}
+	if got := strings.Join(ids, ","); got != "m,a,z" {
+		t.Fatalf("topo order %q, want m,a,z", got)
+	}
+}
+
+func TestStageErrorPropagates(t *testing.T) {
+	boom := fmt.Errorf("stage exploded")
+	stages := []*Stage{{
+		ID:     "a",
+		Run:    func(*Ctx) (any, error) { return nil, boom },
+		Encode: func(any) ([]byte, error) { return nil, nil },
+		Decode: func([]byte) (any, error) { return nil, nil },
+	}}
+	if _, err := (&Runner{}).Run("build", stages); err != boom {
+		t.Fatalf("err = %v, want the stage error unchanged", err)
+	}
+}
+
+func TestDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte(`{"hello":"world"}`)
+	meta := Meta{Digest: digestOf(raw), Items: 5, Bytes: len(raw)}
+	if err := c.Put("somekey", raw, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, m, ok := c.Get("somekey")
+	if !ok || string(got) != string(raw) || m.Items != 5 {
+		t.Fatalf("Get = %q, %+v, %v", got, m, ok)
+	}
+	if _, _, ok := c.Get("missing"); ok {
+		t.Error("Get(missing) reported ok")
+	}
+
+	// Corrupting the object degrades to a miss, never a bad read.
+	if err := os.WriteFile(c.objectPath(meta.Digest), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get("somekey"); ok {
+		t.Error("corrupted object served as a hit")
+	}
+
+	// A fresh Put repairs the entry.
+	if err := c.Put("somekey", raw, meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get("somekey"); !ok {
+		t.Error("entry not repaired by Put")
+	}
+
+	// Corrupt key metadata is also just a miss.
+	if err := os.WriteFile(c.keyPath("badmeta"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get("badmeta"); ok {
+		t.Error("corrupt meta served as a hit")
+	}
+
+	// No stray temp files linger after writes.
+	for _, sub := range []string{"objects", "keys"} {
+		matches, _ := filepath.Glob(filepath.Join(dir, sub, ".tmp-*"))
+		if len(matches) != 0 {
+			t.Errorf("leftover temp files in %s: %v", sub, matches)
+		}
+	}
+}
+
+func TestDiskCacheEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Cache: c}
+	if _, err := r.Run("build", chainStages(nil)); err != nil {
+		t.Fatal(err)
+	}
+	// A second runner over the same directory (fresh process, in
+	// spirit) replays everything.
+	c2, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := map[string]*atomic.Int64{}
+	res, err := (&Runner{Cache: c2}).Run("build", chainStages(runs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, n := range runs {
+		if n.Load() != 0 {
+			t.Errorf("stage %s re-ran across processes", id)
+		}
+	}
+	if v, _ := res.Value("c"); v.(int) != 37 {
+		t.Fatalf("c = %v, want 37", v)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Error("fingerprint collided across field boundaries")
+	}
+	if Fingerprint("x") != Fingerprint("x") {
+		t.Error("fingerprint not deterministic")
+	}
+	if Fingerprint() == Fingerprint("") {
+		t.Error("empty fingerprint collided with one empty field")
+	}
+}
+
+func TestCacheKeyChangesWithInputs(t *testing.T) {
+	s := &Stage{ID: "x", Version: "v1", Config: "c"}
+	k1 := cacheKey(s, []*artifact{{digest: "d1"}})
+	k2 := cacheKey(s, []*artifact{{digest: "d2"}})
+	if k1 == k2 {
+		t.Error("cache key ignored input digest")
+	}
+	s2 := &Stage{ID: "x", Version: "v2", Config: "c"}
+	if cacheKey(s2, []*artifact{{digest: "d1"}}) == k1 {
+		t.Error("cache key ignored version")
+	}
+	s3 := &Stage{ID: "x", Version: "v1", Config: "c2"}
+	if cacheKey(s3, []*artifact{{digest: "d1"}}) == k1 {
+		t.Error("cache key ignored config")
+	}
+}

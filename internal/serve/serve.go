@@ -19,10 +19,20 @@
 // every endpoint records request/error counters plus a latency
 // histogram into a single obs registry (rememberr_http_*). Passing a
 // shared registry via Options.Observability folds build-pipeline and
-// index metrics into the same /metrics page. The server is safe for
-// arbitrary concurrency: the database and index are immutable
-// snapshots, the cache is mutex-guarded, and the instruments are
-// lock-free.
+// index metrics into the same /metrics page.
+//
+// The server holds its data behind an atomically swappable snapshot —
+// an immutable (database, index, generation) triple. Swap installs a
+// new snapshot with zero downtime: each request loads the pointer once
+// and works against that generation for its whole lifetime, so no
+// request ever observes a torn state, and in-flight requests on the old
+// generation finish unperturbed. Response-cache entries are keyed by
+// generation, so a swap implicitly invalidates the cache without a
+// stop-the-world flush and a stale entry is never served for a newer
+// generation. When Options.Reloader is set, POST /v1/admin/reload
+// rebuilds (or re-loads) the database and swaps it in. The server is
+// safe for arbitrary concurrency: snapshots are immutable, the cache is
+// mutex-guarded, and the instruments are lock-free.
 package serve
 
 import (
@@ -36,6 +46,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -63,6 +75,12 @@ type Options struct {
 	// outside the request-timeout wrapper (profiles legitimately run
 	// longer than API requests).
 	EnableProfiling bool
+	// Reloader, when non-nil, produces a fresh database for
+	// POST /v1/admin/reload (and Server.Reload): typically a warm
+	// pipeline rebuild or a store-file load. The returned database is
+	// swapped in atomically; the reloader must not mutate it afterwards.
+	// When nil, the reload endpoint answers 501 Not Implemented.
+	Reloader func(ctx context.Context) (*core.Database, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -90,30 +108,48 @@ type endpointInstruments struct {
 // the legacy unversioned paths.
 var endpointNames = []string{
 	"errata", "erratum", "stats", "healthz", "metrics", "metrics_json", "redirect",
+	"admin_reload",
 }
 
-// Server serves one immutable database snapshot.
-type Server struct {
+// snapshot is one immutable serving state: a database, its inverted
+// index, the precomputed stats, and a monotonically increasing
+// generation id. Handlers load the current snapshot exactly once per
+// request, so every response is internally consistent with a single
+// generation even while Swap installs a new one mid-flight.
+type snapshot struct {
 	db    *core.Database
 	ix    *index.Index
+	stats core.Stats
+	gen   uint64
+}
+
+// Server serves atomically swappable database snapshots.
+type Server struct {
+	snap  atomic.Pointer[snapshot]
+	gen   atomic.Uint64
 	opts  Options
 	cache *lruCache
-	stats core.Stats
 	reg   *obs.Registry
+
+	// swapMu serializes snapshot installation so generation ids are
+	// stored in increasing order; reloadMu additionally serializes
+	// whole reloads (build + swap) so concurrent reload requests don't
+	// run redundant rebuilds.
+	swapMu   sync.Mutex
+	reloadMu sync.Mutex
+	swaps    *obs.Counter
 
 	endpoints map[string]*endpointInstruments
 }
 
-// New builds the index over db and returns a ready server. The caller
-// must not mutate db afterwards.
+// New builds the index over db and returns a ready server serving
+// generation 1. The caller must not mutate db afterwards.
 func New(db *core.Database, opts Options) *Server {
 	opts = opts.withDefaults()
 	reg := opts.Observability
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	ix := index.Build(db)
-	ix.Instrument(reg)
 	endpoints := make(map[string]*endpointInstruments, len(endpointNames))
 	for _, name := range endpointNames {
 		endpoints[name] = &endpointInstruments{
@@ -132,15 +168,63 @@ func New(db *core.Database, opts Options) *Server {
 	reg.GaugeFunc("rememberr_cache_entries", "Query-cache resident entries.",
 		func() float64 { return float64(cache.entries()) })
 	reg.Gauge("rememberr_cache_capacity", "Query-cache capacity.").Set(float64(opts.CacheSize))
-	return &Server{
-		db:        db,
-		ix:        ix,
+	s := &Server{
 		opts:      opts,
 		cache:     cache,
-		stats:     db.ComputeStats(),
 		reg:       reg,
 		endpoints: endpoints,
 	}
+	s.swaps = reg.Counter("rememberr_snapshot_swaps_total",
+		"Database snapshot installations (including the initial one).")
+	reg.GaugeFunc("rememberr_snapshot_generation", "Currently served snapshot generation.",
+		func() float64 {
+			if snap := s.snap.Load(); snap != nil {
+				return float64(snap.gen)
+			}
+			return 0
+		})
+	s.Swap(db)
+	return s
+}
+
+// Swap atomically installs db as the served snapshot and returns its
+// generation id. The index is built and the stats computed before the
+// pointer flips, so requests only ever see complete snapshots;
+// in-flight requests on the previous generation finish against it
+// undisturbed, and response-cache entries of older generations are
+// never served again (keys are generation-scoped). The caller must not
+// mutate db after Swap.
+func (s *Server) Swap(db *core.Database) uint64 {
+	ix := index.Build(db)
+	ix.Instrument(s.reg)
+	stats := db.ComputeStats()
+	s.swapMu.Lock()
+	snap := &snapshot{db: db, ix: ix, stats: stats, gen: s.gen.Add(1)}
+	s.snap.Store(snap)
+	s.swapMu.Unlock()
+	s.swaps.Inc()
+	return snap.gen
+}
+
+// Generation returns the generation id of the currently served
+// snapshot.
+func (s *Server) Generation() uint64 { return s.snap.Load().gen }
+
+// Reload produces a fresh database via Options.Reloader and swaps it
+// in, returning the new generation. Reloads are serialized: concurrent
+// calls run one at a time. Returns an error when no Reloader is
+// configured or the reloader fails (the served snapshot is untouched).
+func (s *Server) Reload(ctx context.Context) (uint64, error) {
+	if s.opts.Reloader == nil {
+		return 0, errors.New("serve: no reloader configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	db, err := s.opts.Reloader(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("serve: reload: %w", err)
+	}
+	return s.Swap(db), nil
 }
 
 // Registry returns the registry backing the server's instruments (the
@@ -157,6 +241,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/metrics.json", s.instrument("metrics_json", s.handleMetricsJSON))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("POST /v1/admin/reload", s.instrument("admin_reload", s.handleReload))
 	mux.HandleFunc("GET /errata", s.instrument("redirect", s.handleRedirect))
 	mux.HandleFunc("GET /errata/{key}", s.instrument("redirect", s.handleRedirect))
 	mux.HandleFunc("GET /stats", s.instrument("redirect", s.handleRedirect))
@@ -284,10 +369,11 @@ func parseBool(s string) (bool, error) {
 
 const dateFmt = "2006-01-02"
 
-// parseFilters compiles URL query parameters into an index query plus a
-// canonical cache key. Unknown parameters are rejected so that typos
-// surface as 400s instead of silently matching everything.
-func (s *Server) parseFilters(values url.Values) (*errataRequest, error) {
+// parseFilters compiles URL query parameters into an index query over
+// one snapshot plus a canonical cache key. Unknown parameters are
+// rejected so that typos surface as 400s instead of silently matching
+// everything.
+func parseFilters(snap *snapshot, values url.Values) (*errataRequest, error) {
 	for p := range values {
 		known := false
 		for _, k := range filterParams {
@@ -301,7 +387,7 @@ func (s *Server) parseFilters(values url.Values) (*errataRequest, error) {
 		}
 	}
 
-	req := &errataRequest{query: s.ix.Query(), unique: true, limit: 100}
+	req := &errataRequest{query: snap.ix.Query(), unique: true, limit: 100}
 	var keyParts []string
 	canon := func(param string, vals ...string) {
 		sort.Strings(vals)
@@ -468,7 +554,7 @@ type erratumSummary struct {
 	Disclosed string `json:"disclosed,omitempty"`
 }
 
-func (s *Server) summarize(e *core.Erratum) erratumSummary {
+func summarize(snap *snapshot, e *core.Erratum) erratumSummary {
 	sum := erratumSummary{
 		FullID: e.FullID(),
 		Key:    e.Key,
@@ -476,7 +562,7 @@ func (s *Server) summarize(e *core.Erratum) erratumSummary {
 		ID:     e.ID,
 		Title:  e.Title,
 	}
-	if d := s.db.Docs[e.DocKey]; d != nil {
+	if d := snap.db.Docs[e.DocKey]; d != nil {
 		sum.Vendor = d.Vendor.String()
 	}
 	if !e.Disclosed.IsZero() {
@@ -485,13 +571,24 @@ func (s *Server) summarize(e *core.Erratum) erratumSummary {
 	return sum
 }
 
+// cacheKey scopes a canonical filter key to one snapshot generation.
+// Entries written by older generations can never match a newer
+// snapshot's lookups, so a swap invalidates the response cache without
+// flushing it — while requests already executing against the old
+// snapshot still hit their own generation's entries.
+func cacheKey(gen uint64, filterKey string) string {
+	return "g" + strconv.FormatUint(gen, 10) + "|" + filterKey
+}
+
 func (s *Server) handleErrata(w http.ResponseWriter, r *http.Request) {
-	req, err := s.parseFilters(r.URL.Query())
+	snap := s.snap.Load()
+	req, err := parseFilters(snap, r.URL.Query())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if body, ok := s.cache.get(req.key); ok {
+	key := cacheKey(snap.gen, req.key)
+	if body, ok := s.cache.get(key); ok {
 		writeJSON(w, http.StatusOK, body)
 		return
 	}
@@ -512,20 +609,21 @@ func (s *Server) handleErrata(w http.ResponseWriter, r *http.Request) {
 	}
 	summaries := make([]erratumSummary, 0, len(page))
 	for _, e := range page {
-		summaries = append(summaries, s.summarize(e))
+		summaries = append(summaries, summarize(snap, e))
 	}
 	body, err := json.Marshal(struct {
-		Total  int              `json:"total"`
-		Offset int              `json:"offset"`
-		Count  int              `json:"count"`
-		Unique bool             `json:"unique"`
-		Errata []erratumSummary `json:"errata"`
-	}{len(matches), req.offset, len(summaries), req.unique, summaries})
+		Total      int              `json:"total"`
+		Offset     int              `json:"offset"`
+		Count      int              `json:"count"`
+		Unique     bool             `json:"unique"`
+		Generation uint64           `json:"generation"`
+		Errata     []erratumSummary `json:"errata"`
+	}{len(matches), req.offset, len(summaries), req.unique, snap.gen, summaries})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	s.cache.put(req.key, body)
+	s.cache.put(key, body)
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -560,8 +658,9 @@ type erratumDetail struct {
 }
 
 func (s *Server) handleErratum(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
 	key := r.PathValue("key")
-	occurrences := s.ix.ByKey(key)
+	occurrences := snap.ix.ByKey(key)
 	if len(occurrences) == 0 {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no erratum with key %q", key))
 		return
@@ -569,7 +668,7 @@ func (s *Server) handleErratum(w http.ResponseWriter, r *http.Request) {
 	details := make([]erratumDetail, 0, len(occurrences))
 	for _, e := range occurrences {
 		details = append(details, erratumDetail{
-			erratumSummary: s.summarize(e),
+			erratumSummary: summarize(snap, e),
 			Seq:            e.Seq,
 			Description:    e.Description,
 			Implication:    e.Implication,
@@ -588,42 +687,66 @@ func (s *Server) handleErratum(w http.ResponseWriter, r *http.Request) {
 	body, _ := json.Marshal(struct {
 		Key         string          `json:"key"`
 		Occurrences int             `json:"occurrences"`
+		Generation  uint64          `json:"generation"`
 		Entries     []erratumDetail `json:"entries"`
-	}{key, len(details), details})
+	}{key, len(details), snap.gen, details})
 	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.stats
+	snap := s.snap.Load()
+	st := snap.stats
 	body, _ := json.Marshal(struct {
-		Documents    int `json:"documents"`
-		IntelDocs    int `json:"intel_documents"`
-		AMDDocs      int `json:"amd_documents"`
-		Total        int `json:"errata"`
-		IntelTotal   int `json:"intel_errata"`
-		AMDTotal     int `json:"amd_errata"`
-		Unique       int `json:"unique"`
-		IntelUnique  int `json:"intel_unique"`
-		AMDUnique    int `json:"amd_unique"`
-		Annotated    int `json:"annotated"`
-		Unclassified int `json:"unclassified"`
-		Categories   int `json:"categories"`
+		Documents    int    `json:"documents"`
+		IntelDocs    int    `json:"intel_documents"`
+		AMDDocs      int    `json:"amd_documents"`
+		Total        int    `json:"errata"`
+		IntelTotal   int    `json:"intel_errata"`
+		AMDTotal     int    `json:"amd_errata"`
+		Unique       int    `json:"unique"`
+		IntelUnique  int    `json:"intel_unique"`
+		AMDUnique    int    `json:"amd_unique"`
+		Annotated    int    `json:"annotated"`
+		Unclassified int    `json:"unclassified"`
+		Categories   int    `json:"categories"`
+		Generation   uint64 `json:"generation"`
 	}{
 		st.Documents, st.IntelDocs, st.AMDDocs,
 		st.Total, st.IntelTotal, st.AMDTotal,
 		st.Unique, st.IntelUnique, st.AMDUnique,
 		st.Annotated, st.Unclassified,
-		s.db.Scheme.NumCategories(taxonomy.Kind(-1)),
+		snap.db.Scheme.NumCategories(taxonomy.Kind(-1)),
+		snap.gen,
 	})
 	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.snap.Load()
 	body, _ := json.Marshal(struct {
-		Status string `json:"status"`
-		Errata int    `json:"errata"`
-		Unique int    `json:"unique"`
-	}{"ok", s.ix.Size(), s.ix.UniqueCount()})
+		Status     string `json:"status"`
+		Errata     int    `json:"errata"`
+		Unique     int    `json:"unique"`
+		Generation uint64 `json:"generation"`
+	}{"ok", snap.ix.Size(), snap.ix.UniqueCount(), snap.gen})
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReload swaps in a freshly produced database with zero downtime.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Reloader == nil {
+		writeError(w, http.StatusNotImplemented, "reload is not configured on this server")
+		return
+	}
+	gen, err := s.Reload(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	body, _ := json.Marshal(struct {
+		Status     string `json:"status"`
+		Generation uint64 `json:"generation"`
+	}{"ok", gen})
 	writeJSON(w, http.StatusOK, body)
 }
 

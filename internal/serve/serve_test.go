@@ -170,7 +170,7 @@ func TestEndpoints(t *testing.T) {
 	// Compound filter agrees with the direct index query.
 	var hangs errataResp
 	getJSON(t, c, ts.URL+"/errata?vendor=Intel&category=Eff_HNG_hng&limit=1000", &hangs)
-	want := s.ix.Query().Vendor(core.Intel).WithCategory("Eff_HNG_hng").Count()
+	want := s.snap.Load().ix.Query().Vendor(core.Intel).WithCategory("Eff_HNG_hng").Count()
 	if hangs.Total != want {
 		t.Fatalf("compound filter total = %d, want %d", hangs.Total, want)
 	}

@@ -1,0 +1,169 @@
+package rememberr
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// encodeBuild runs Build with the given options and returns the
+// deterministic store encoding of the result.
+func encodeBuild(t *testing.T, options ...Option) ([]byte, *Database, *BuildReport) {
+	t.Helper()
+	db, rep, err := Build(options...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := store.Encode(db.Core())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, db, rep
+}
+
+// stageCached maps stage name to the Cached flag of its trace span.
+func stageCached(t *testing.T, rep *BuildReport) map[string]bool {
+	t.Helper()
+	out := make(map[string]bool)
+	for _, sp := range rep.Trace.Children {
+		out[sp.Name] = sp.Cached
+	}
+	if len(out) != 7 {
+		t.Fatalf("trace has %d stages, want 7: %v", len(out), out)
+	}
+	return out
+}
+
+// TestBuildCacheByteIdentity is the byte-identity contract of the
+// incremental pipeline: for the corpus seeds of the equivalence matrix,
+// a warm (fully cached-prefix) rebuild produces a store.Encode byte
+// stream identical to a cold uncached build, at parallelism 1 and N.
+// Seed 1 additionally pins cold-uncached == cold-with-cache (the miss
+// path must not perturb the build either).
+func TestBuildCacheByteIdentity(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for i, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			// Alternate which parallelism populates and which replays,
+			// so both orders are exercised across the matrix.
+			parCold, parWarm := 1, 8
+			if i%2 == 1 {
+				parCold, parWarm = 8, 1
+			}
+
+			var ref []byte
+			if seed == 1 {
+				// Cold without any cache: the pre-pipeline monolith
+				// equivalent.
+				ref, _, _ = encodeBuild(t, WithSeed(seed), WithParallelism(parCold))
+			}
+
+			coldBytes, _, coldRep := encodeBuild(t,
+				WithSeed(seed), WithParallelism(parCold), WithCache(dir))
+			for name, cached := range stageCached(t, coldRep) {
+				if cached {
+					t.Errorf("cold build replayed stage %s from an empty cache", name)
+				}
+			}
+			if ref != nil && !bytes.Equal(ref, coldBytes) {
+				t.Fatal("cold build with cache differs from uncached build")
+			}
+
+			warmBytes, warmDB, warmRep := encodeBuild(t,
+				WithSeed(seed), WithParallelism(parWarm), WithCache(dir))
+			for name, cached := range stageCached(t, warmRep) {
+				if !cached {
+					t.Errorf("warm build re-ran stage %s", name)
+				}
+			}
+			if !bytes.Equal(coldBytes, warmBytes) {
+				t.Fatal("warm rebuild bytes differ from cold build")
+			}
+
+			// Second warm replay at the cold parallelism closes the
+			// loop: both worker counts replay to identical bytes.
+			warm2Bytes, _, _ := encodeBuild(t,
+				WithSeed(seed), WithParallelism(parCold), WithCache(dir))
+			if !bytes.Equal(coldBytes, warm2Bytes) {
+				t.Fatal("warm rebuild at original parallelism differs")
+			}
+
+			if s := warmDB.Stats(); s.Total == 0 {
+				t.Fatalf("warm database is empty: %+v", s)
+			}
+		})
+	}
+}
+
+// TestWarmRebuildSuffixReruns changes one downstream knob at a time
+// against a populated cache and asserts — via the trace and the
+// rememberr_pipeline_stage_cache_{hits,misses}_total counters — that
+// only the affected stage suffix re-runs, and that the result is
+// byte-identical to an uncached build with the same knob.
+func TestWarmRebuildSuffixReruns(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := Build(WithCache(dir)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interpolation knob: timeline and validate re-run, everything
+	// upstream replays.
+	reg := obs.NewRegistry()
+	warmBytes, _, rep := encodeBuild(t,
+		WithCache(dir), WithInterpolation(false), WithObservability(reg))
+	wantCached := map[string]bool{
+		"corpus": true, "render": true, "parse": true,
+		"dedup": true, "annotate": true,
+		"timeline": false, "validate": false,
+	}
+	for name, want := range wantCached {
+		if got := stageCached(t, rep)[name]; got != want {
+			t.Errorf("interpolation knob: stage %s cached=%v, want %v", name, got, want)
+		}
+		hits := reg.Counter("rememberr_pipeline_stage_cache_hits_total", "", obs.L("stage", name)).Value()
+		misses := reg.Counter("rememberr_pipeline_stage_cache_misses_total", "", obs.L("stage", name)).Value()
+		if want && (hits != 1 || misses != 0) {
+			t.Errorf("stage %s: hits=%d misses=%d, want 1/0", name, hits, misses)
+		}
+		if !want && (hits != 0 || misses != 1) {
+			t.Errorf("stage %s: hits=%d misses=%d, want 0/1", name, hits, misses)
+		}
+	}
+	coldBytes, _, _ := encodeBuild(t, WithInterpolation(false))
+	if !bytes.Equal(coldBytes, warmBytes) {
+		t.Fatal("suffix-only warm rebuild differs from uncached build with same knob")
+	}
+
+	// Similarity-threshold knob (the classic example): corpus, render
+	// and parse replay; dedup and everything downstream re-run.
+	rep2reg := obs.NewRegistry()
+	_, _, rep2 := encodeBuild(t,
+		WithCache(dir), WithSimilarityThreshold(0.9), WithObservability(rep2reg))
+	cached2 := stageCached(t, rep2)
+	for _, name := range []string{"corpus", "render", "parse"} {
+		if !cached2[name] {
+			t.Errorf("threshold knob: prefix stage %s re-ran", name)
+		}
+	}
+	for _, name := range []string{"dedup", "annotate", "timeline", "validate"} {
+		if cached2[name] {
+			t.Errorf("threshold knob: suffix stage %s replayed from cache", name)
+		}
+	}
+
+	// The knob-changed artifacts are cached too: repeating either build
+	// is now fully warm.
+	_, _, rep3 := encodeBuild(t, WithCache(dir), WithInterpolation(false))
+	for name, cached := range stageCached(t, rep3) {
+		if !cached {
+			t.Errorf("repeat of knob build re-ran stage %s", name)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package rememberr
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// The pristine cache is populated once by a default Build and never
+// mutated: warm benchmarks either read it directly (fully-warm replays
+// write nothing) or copy it so knob-change misses don't pollute later
+// iterations.
+var (
+	pristineOnce sync.Once
+	pristineDir  string
+	pristineErr  error
+)
+
+func pristineCache(b *testing.B) string {
+	b.Helper()
+	pristineOnce.Do(func() {
+		pristineDir, pristineErr = os.MkdirTemp("", "rememberr-bench-cache-")
+		if pristineErr != nil {
+			return
+		}
+		_, _, pristineErr = Build(WithCache(pristineDir))
+	})
+	if pristineErr != nil {
+		b.Fatal(pristineErr)
+	}
+	return pristineDir
+}
+
+func copyDir(b *testing.B, src, dst string) {
+	b.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPipelineColdBuild is the baseline: the full seven-stage
+// build with no artifact cache.
+func BenchmarkPipelineColdBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineWarmFull replays every stage from a fully populated
+// cache: the floor of an incremental rebuild (hash, read, decode).
+func BenchmarkPipelineWarmFull(b *testing.B) {
+	dir := pristineCache(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Build(WithCache(dir)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineWarmKnob measures the single-knob incremental
+// rebuild the cache exists for: toggling timeline interpolation against
+// a warm cache replays corpus through annotate and re-runs only the
+// timeline and validate stages. Each iteration works on a throwaway
+// copy of the pristine cache so the knob's artifacts never become warm.
+func BenchmarkPipelineWarmKnob(b *testing.B) {
+	src := pristineCache(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp("", "rememberr-bench-knob-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		copyDir(b, src, dir)
+		b.StartTimer()
+		if _, _, err := Build(WithCache(dir), WithInterpolation(false)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		os.RemoveAll(dir)
+		b.StartTimer()
+	}
+}

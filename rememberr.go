@@ -33,16 +33,17 @@ package rememberr
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/annotate"
-	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dedup"
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/specdoc"
 	"repro/internal/taxonomy"
 	"repro/internal/textsim"
@@ -169,6 +170,20 @@ func WithParallelism(n int) Option {
 	return optionFunc(func(o *BuildOptions) { o.Parallelism = n })
 }
 
+// WithCache enables content-addressed incremental rebuilds: every
+// build stage's output artifact is persisted under dir, keyed by a
+// digest of the stage's code version, its configuration, and its input
+// artifacts' digests. A later Build sharing the directory replays every
+// stage whose key is unchanged from disk and re-runs only the affected
+// suffix of the stage graph — e.g. toggling only the interpolation knob
+// replays corpus through annotate from cache and re-runs just timeline
+// and validate. The built database and report are byte-identical to an
+// uncached build at every cache state and worker count; cached stages
+// appear in BuildReport.Trace with Cached set.
+func WithCache(dir string) Option {
+	return optionFunc(func(o *BuildOptions) { o.CacheDir = dir })
+}
+
 // WithObservability directs the build's metrics into reg: per-stage
 // spans (also returned as BuildReport.Trace), classify memo and
 // prefilter counters, and worker-pool queue/task counters. Pass the
@@ -220,6 +235,10 @@ type BuildOptions struct {
 	// stage spans (see WithObservability). Instrumentation never
 	// changes the built database.
 	Observability *Registry
+	// CacheDir, when non-empty, persists stage artifacts under this
+	// directory for content-addressed incremental rebuilds (see
+	// WithCache). Empty disables caching.
+	CacheDir string
 
 	// similarityThresholdSet / annotationStepsSet distinguish explicit
 	// zero values (via the setters) from unset fields.
@@ -307,6 +326,22 @@ type Database struct {
 	core   *core.Database
 	report *BuildReport
 	idx    atomic.Pointer[index.Index]
+
+	// flightMu/flight coalesce concurrent BuildIndex calls into one
+	// index construction (singleflight). flightJoined, when non-nil,
+	// is invoked each time a caller joins an existing flight — a test
+	// seam that lets the singleflight tests sequence joiners
+	// deterministically.
+	flightMu     sync.Mutex
+	flight       *indexFlight
+	flightJoined func()
+}
+
+// indexFlight is one in-progress index construction; joiners block on
+// done and share the leader's result.
+type indexFlight struct {
+	done chan struct{}
+	ix   *index.Index
 }
 
 // Build runs the full pipeline: corpus generation, document rendering,
@@ -327,114 +362,20 @@ func Build(options ...Option) (*Database, *BuildReport, error) {
 	if reg != nil {
 		parallel.Instrument(reg)
 	}
-	trace := obs.StartSpan(reg, "build")
 
-	// 1. Acquire: generate the corpus and render the documents. The
-	// generator stays sequential by design: all its sampling shares one
-	// seeded RNG stream, so per-document fan-out would change the draw
-	// order and break seed reproducibility.
-	sp := trace.StartChild("corpus")
-	gt, err := corpus.Generate(opts.Seed)
-	if err != nil {
-		return nil, nil, fmt.Errorf("rememberr: corpus generation: %w", err)
-	}
-	sp.SetItems(len(gt.DB.Errata()))
-	sp.End()
-
-	sp = trace.StartChild("render")
-	dup := make(map[string]string)
-	for _, fe := range gt.Inventory.FieldErrors {
-		if fe.Kind == "duplicate" {
-			field := fe.Field
-			if field == "Description" {
-				field = "Problem"
-			}
-			dup[fe.Ref] = field
+	runner := &pipeline.Runner{Obs: reg}
+	if opts.CacheDir != "" {
+		cache, err := pipeline.NewDiskCache(opts.CacheDir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rememberr: open pipeline cache: %w", err)
 		}
+		runner.Cache = cache
 	}
-	texts := specdoc.WriteAllParallel(gt.DB, specdoc.WriteOptions{DuplicateFields: dup}, opts.Parallelism)
-	sp.SetItems(len(texts))
-	sp.End()
-
-	// 2. Parse.
-	sp = trace.StartChild("parse")
-	db, diags, err := specdoc.ParseAllParallel(texts, opts.Parallelism)
+	res, err := runner.Run("build", buildStages(opts))
 	if err != nil {
-		return nil, nil, fmt.Errorf("rememberr: parse: %w", err)
+		return nil, nil, err
 	}
-	sp.SetItems(len(texts))
-	sp.End()
-
-	rep := &BuildReport{Diagnostics: diags, GroundTruth: gt, Trace: trace}
-
-	// 3. Deduplicate. The manual-review oracle is backed by the ground
-	// truth, standing in for the paper's extensive manual inspection.
-	sp = trace.StartChild("dedup")
-	truthKey := make(map[string]string)
-	for _, e := range gt.DB.Errata() {
-		truthKey[corpus.EntryRef(e)] = e.Key
-	}
-	oracle := func(a, b *core.Erratum) bool {
-		ka, kb := truthKey[corpus.EntryRef(a)], truthKey[corpus.EntryRef(b)]
-		return ka != "" && ka == kb
-	}
-	dopts := dedup.Options{
-		Metric:      opts.SimilarityMetric,
-		Oracle:      oracle,
-		UseLSH:      opts.UseLSH,
-		Parallelism: opts.Parallelism,
-	}
-	// The threshold is already resolved, so pass it explicitly: an
-	// explicit zero must review every candidate pair rather than
-	// trip dedup's own default.
-	dopts.SetThreshold(opts.SimilarityThreshold)
-	dres, err := dedup.Deduplicate(db, dopts)
-	if err != nil {
-		return nil, nil, fmt.Errorf("rememberr: dedup: %w", err)
-	}
-	rep.Dedup = dres
-	sp.SetItems(len(dres.Reviewed))
-	sp.End()
-
-	// 4. Classify and annotate (regex filter + simulated four eyes).
-	sp = trace.StartChild("annotate")
-	truthAnn := make(map[string]*core.Annotation)
-	for _, e := range gt.DB.Errata() {
-		ann := e.Ann
-		truthAnn[corpus.EntryRef(e)] = &ann
-	}
-	truth := func(e *core.Erratum) *core.Annotation {
-		return truthAnn[corpus.EntryRef(e)]
-	}
-	aopts := annotate.DefaultOptions()
-	aopts.Seed = opts.Seed
-	aopts.Steps = opts.AnnotationSteps
-	aopts.Workers = opts.Parallelism
-	aopts.Trace = sp
-	if opts.AnnotationSteps != 7 && opts.AnnotationSteps > 0 {
-		aopts.StepFractions = uniformFractions(opts.AnnotationSteps)
-	}
-	ares, err := annotate.Run(db, classify.NewEngineConfig(classify.Config{
-		Prefilter: true, Memo: true, Obs: reg,
-	}), truth, aopts)
-	if err != nil {
-		return nil, nil, fmt.Errorf("rememberr: annotate: %w", err)
-	}
-	rep.Annotation = ares
-	sp.End()
-
-	// 5. Infer disclosure dates.
-	sp = trace.StartChild("timeline")
-	rep.Timeline = timeline.InferDisclosures(db, timeline.Options{Interpolate: opts.Interpolate})
-	sp.End()
-
-	sp = trace.StartChild("validate")
-	if err := db.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("rememberr: validation: %w", err)
-	}
-	sp.End()
-	trace.End()
-	return &Database{core: db, report: rep}, rep, nil
+	return assembleBuild(res)
 }
 
 func uniformFractions(n int) []float64 {
@@ -453,11 +394,39 @@ func (db *Database) Core() *core.Database { return db.core }
 // operations compile to postings-list intersections instead of scanning
 // every entry; results are identical on both paths. The index is a
 // snapshot: call BuildIndex again after mutating the underlying core
-// database. Safe for concurrent use with Query execution.
+// database. Safe for concurrent use with Query execution, and
+// singleflight under contention: concurrent callers coalesce onto one
+// construction and all receive the same *index.Index; a call issued
+// after that construction finished builds a fresh snapshot.
 func (db *Database) BuildIndex() *index.Index {
-	ix := index.Build(db.core)
-	db.idx.Store(ix)
-	return ix
+	return db.buildIndexWith(index.Build)
+}
+
+// buildIndexWith is BuildIndex with the index constructor injected, the
+// seam the singleflight tests use to hold a flight open deterministically.
+func (db *Database) buildIndexWith(build func(*core.Database) *index.Index) *index.Index {
+	db.flightMu.Lock()
+	if f := db.flight; f != nil {
+		joined := db.flightJoined
+		db.flightMu.Unlock()
+		if joined != nil {
+			joined()
+		}
+		<-f.done
+		return f.ix
+	}
+	f := &indexFlight{done: make(chan struct{})}
+	db.flight = f
+	db.flightMu.Unlock()
+
+	f.ix = build(db.core)
+	db.idx.Store(f.ix)
+
+	db.flightMu.Lock()
+	db.flight = nil
+	db.flightMu.Unlock()
+	close(f.done)
+	return f.ix
 }
 
 // Index returns the inverted index built by BuildIndex, or nil when
@@ -492,5 +461,9 @@ func (db *Database) UniqueVendor(v Vendor) []*Erratum { return db.core.UniqueVen
 func (db *Database) Document(key string) *Document { return db.core.Docs[key] }
 
 // FromCore wraps an existing core database (e.g. one loaded from JSON)
-// in the facade.
+// in the facade. The resulting Database has no build provenance:
+// Report returns nil (callers must nil-check before reading build
+// artifacts) and Index returns nil until BuildIndex is called; every
+// other accessor — Stats, Errata, Unique, Query, the serving layer —
+// works identically to a freshly built database.
 func FromCore(c *core.Database) *Database { return &Database{core: c} }

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Runs the stage-graph pipeline benchmarks (cold build, fully-warm
+# replay, single-knob warm rebuild) and emits BENCH_pipeline.json with
+# the best-of-N numbers plus the cold-vs-warm speedup ratios. Usage:
+#
+#   scripts/bench_pipeline.sh            # 3 runs per benchmark
+#   COUNT=5 scripts/bench_pipeline.sh    # benchstat-grade sample count
+#
+# The raw `go test` output is echoed to stderr so it can be piped into
+# benchstat directly.
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-3}"
+OUT="${OUT:-BENCH_pipeline.json}"
+
+go test -run '^$' \
+	-bench '^BenchmarkPipelineColdBuild$|^BenchmarkPipelineWarmFull$|^BenchmarkPipelineWarmKnob$' \
+	-benchtime 1x -count "$COUNT" . |
+	tee /dev/stderr |
+	awk -v count="$COUNT" '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+		ns = $3
+		# Best-of-N: keep the fastest sample per benchmark (cold and
+		# warm runs share the machine, so min is the least noisy).
+		if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+		if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+	}
+	END {
+		printf "{\n  \"suite\": \"pipeline-cache\",\n  \"count\": %s,\n  \"benchmarks\": [\n", count
+		for (i = 0; i < n; i++) {
+			name = order[i]
+			printf "    {\"name\": \"%s\", \"best_ns_per_op\": %s}", name, best[name]
+			printf (i < n - 1) ? ",\n" : "\n"
+		}
+		printf "  ]"
+		cold = best["BenchmarkPipelineColdBuild"]
+		warm = best["BenchmarkPipelineWarmFull"]
+		knob = best["BenchmarkPipelineWarmKnob"]
+		if (cold != "" && warm != "" && warm + 0 > 0)
+			printf ",\n  \"warm_full_speedup\": %.2f", cold / warm
+		if (cold != "" && knob != "" && knob + 0 > 0)
+			printf ",\n  \"warm_knob_speedup\": %.2f", cold / knob
+		print "\n}"
+	}' >"$OUT"
+
+echo "wrote $OUT" >&2
