@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-classify bench-pipeline check-metrics fuzz-short cover
+.PHONY: build test race bench bench-classify bench-pipeline bench-serve check-metrics fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,11 @@ bench-classify:
 # single-knob rebuild); emits BENCH_pipeline.json with speedup ratios.
 bench-pipeline:
 	./scripts/bench_pipeline.sh
+
+# Serving-tier latency across shard counts (errserve + errload);
+# emits BENCH_serve.json with server-side p50/p99 at 1, 4 and 16 shards.
+bench-serve:
+	./scripts/bench_serve.sh
 
 # End-to-end /metrics exposition check against a live errserve.
 check-metrics:

@@ -1,0 +1,343 @@
+// Command errload is a closed-loop load generator for errserve with
+// latency SLO assertions.
+//
+// Usage:
+//
+//	errload -url http://localhost:8372 [-rps 200] [-duration 10s]
+//	        [-workers 8] [-slo-p50 20ms] [-slo-p99 200ms] [-out FILE]
+//
+// It drives a deterministic mix of traffic at the target server —
+// filtered /v1/errata queries cycling through the serving filter
+// vocabulary, /v1/errata/{key} point lookups over keys harvested from
+// an initial bootstrap query, and /v1/stats — at the requested
+// aggregate rate. Client-side latency percentiles are computed from
+// the full sample; server-side per-endpoint percentiles come from the
+// /metrics Prometheus histograms, scraped before and after the run and
+// differenced so only this run's observations count.
+//
+// The SLO gates (-slo-p50/-slo-p99, zero disables) are asserted
+// against the server-side "errata" endpoint histogram delta. On
+// violation — or any request error — the JSON report is still written
+// and the exit status is non-zero, so CI and bench scripts can gate on
+// it directly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const durationFamily = "rememberr_http_request_duration_seconds"
+
+// queryMix is the /v1/errata vocabulary the generator cycles through:
+// broad scans, selective filters, compound filters and pagination, so
+// cache hits and full scatter-gather fan-outs both occur.
+var queryMix = []string{
+	"/v1/errata?limit=20",
+	"/v1/errata?vendor=Intel&limit=20",
+	"/v1/errata?vendor=AMD&limit=20",
+	"/v1/errata?class=Trg_POW&limit=20",
+	"/v1/errata?category=Eff_HNG_hng",
+	"/v1/errata?vendor=Intel&class=Trg_POW&min_triggers=1&limit=10",
+	"/v1/errata?unique=false&limit=50",
+	"/v1/errata?offset=40&limit=20",
+	"/v1/errata?title=the&limit=10",
+	"/v1/errata?min_triggers=2&limit=20",
+}
+
+type report struct {
+	URL       string  `json:"url"`
+	RPS       float64 `json:"target_rps"`
+	Duration  string  `json:"duration"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	ActualRPS float64 `json:"actual_rps"`
+
+	Client struct {
+		P50 float64 `json:"p50_seconds"`
+		P90 float64 `json:"p90_seconds"`
+		P99 float64 `json:"p99_seconds"`
+		Max float64 `json:"max_seconds"`
+	} `json:"client"`
+
+	Server map[string]endpointQuantiles `json:"server"`
+
+	SLO []sloResult `json:"slo,omitempty"`
+	OK  bool        `json:"ok"`
+}
+
+type endpointQuantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+type sloResult struct {
+	Name   string  `json:"name"`
+	Target float64 `json:"target_seconds"`
+	Actual float64 `json:"actual_seconds"`
+	OK     bool    `json:"ok"`
+}
+
+func main() {
+	fs := flag.NewFlagSet("errload", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8372", "base URL of the errserve instance")
+	rps := fs.Float64("rps", 200, "aggregate request rate to sustain")
+	duration := fs.Duration("duration", 10*time.Second, "length of the load run")
+	workers := fs.Int("workers", 8, "concurrent request workers")
+	sloP50 := fs.Duration("slo-p50", 0, "server-side p50 SLO for /v1/errata (0 disables)")
+	sloP99 := fs.Duration("slo-p99", 0, "server-side p99 SLO for /v1/errata (0 disables)")
+	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
+	fs.Parse(os.Args[1:])
+
+	rep, err := run(*url, *rps, *duration, *workers, *sloP50, *sloP99)
+	if rep != nil {
+		enc, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr == nil {
+			enc = append(enc, '\n')
+			if *out != "" {
+				if werr := os.WriteFile(*out, enc, 0o644); werr != nil {
+					fmt.Fprintln(os.Stderr, "errload:", werr)
+				}
+			} else {
+				os.Stdout.Write(enc)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "errload:", err)
+		os.Exit(1)
+	}
+	if rep != nil && !rep.OK {
+		fmt.Fprintln(os.Stderr, "errload: SLO violated")
+		os.Exit(2)
+	}
+}
+
+func run(baseURL string, rps float64, duration time.Duration, workers int, sloP50, sloP99 time.Duration) (*report, error) {
+	if rps <= 0 || workers <= 0 || duration <= 0 {
+		return nil, fmt.Errorf("rps, workers and duration must be positive")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	keys, err := harvestKeys(client, baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap against %s: %w", baseURL, err)
+	}
+	urls := buildTraffic(baseURL, keys)
+
+	before, err := scrape(client, baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("pre-run metrics scrape: %w", err)
+	}
+
+	var (
+		next     atomic.Int64 // deterministic round-robin over urls
+		requests atomic.Int64
+		errors   atomic.Int64
+		mu       sync.Mutex
+		lats     []float64
+	)
+	tokens := make(chan struct{}, workers)
+	done := make(chan struct{})
+	go func() {
+		// One token per scheduled request; the closed-loop workers drain
+		// them as fast as their in-flight requests allow.
+		interval := time.Duration(float64(time.Second) / rps)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		deadline := time.After(duration)
+		for {
+			select {
+			case <-deadline:
+				close(done)
+				return
+			case <-tick.C:
+				select {
+				case tokens <- struct{}{}:
+				default: // workers saturated; shed the token
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]float64, 0, 1024)
+			for {
+				select {
+				case <-done:
+					mu.Lock()
+					lats = append(lats, local...)
+					mu.Unlock()
+					return
+				case <-tokens:
+				}
+				url := urls[int(next.Add(1))%len(urls)]
+				start := time.Now()
+				resp, err := client.Get(url)
+				elapsed := time.Since(start).Seconds()
+				requests.Add(1)
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode >= 400 {
+					errors.Add(1)
+					continue
+				}
+				local = append(local, elapsed)
+			}
+		}()
+	}
+	startedAt := time.Now()
+	wg.Wait()
+	elapsed := time.Since(startedAt)
+
+	after, err := scrape(client, baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("post-run metrics scrape: %w", err)
+	}
+
+	rep := &report{
+		URL:      baseURL,
+		RPS:      rps,
+		Duration: duration.String(),
+		Requests: requests.Load(),
+		Errors:   errors.Load(),
+		Server:   map[string]endpointQuantiles{},
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.ActualRPS = float64(rep.Requests) / secs
+	}
+
+	sort.Float64s(lats)
+	rep.Client.P50 = clientQuantile(lats, 0.50)
+	rep.Client.P90 = clientQuantile(lats, 0.90)
+	rep.Client.P99 = clientQuantile(lats, 0.99)
+	if len(lats) > 0 {
+		rep.Client.Max = lats[len(lats)-1]
+	}
+
+	for endpoint, h := range after {
+		d, err := h.delta(before[endpoint])
+		if err != nil {
+			return rep, fmt.Errorf("endpoint %q: %w", endpoint, err)
+		}
+		if d.count == 0 {
+			continue
+		}
+		rep.Server[endpoint] = endpointQuantiles{
+			Count: d.count,
+			P50:   d.quantile(0.50),
+			P99:   d.quantile(0.99),
+		}
+	}
+
+	rep.OK = rep.Errors == 0
+	errata, servedErrata := rep.Server["errata"]
+	if !servedErrata {
+		rep.OK = false
+		return rep, fmt.Errorf("no /v1/errata observations recorded server-side")
+	}
+	for _, gate := range []struct {
+		name   string
+		target time.Duration
+		actual float64
+	}{
+		{"errata_p50", sloP50, errata.P50},
+		{"errata_p99", sloP99, errata.P99},
+	} {
+		if gate.target <= 0 {
+			continue
+		}
+		res := sloResult{
+			Name:   gate.name,
+			Target: gate.target.Seconds(),
+			Actual: gate.actual,
+			OK:     gate.actual <= gate.target.Seconds(),
+		}
+		rep.SLO = append(rep.SLO, res)
+		if !res.OK {
+			rep.OK = false
+		}
+	}
+	return rep, nil
+}
+
+// harvestKeys pulls dedup keys from a bootstrap query so the traffic
+// mix can include point lookups; an empty result just means no
+// point-lookup traffic.
+func harvestKeys(client *http.Client, baseURL string) ([]string, error) {
+	resp, err := client.Get(baseURL + "/v1/errata?limit=50")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("bootstrap query: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Errata []struct {
+			Key string `json:"key"`
+		} `json:"errata"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	var keys []string
+	seen := map[string]bool{}
+	for _, e := range body.Errata {
+		if e.Key != "" && !seen[e.Key] {
+			seen[e.Key] = true
+			keys = append(keys, e.Key)
+		}
+	}
+	return keys, nil
+}
+
+// buildTraffic interleaves the deterministic request mix: roughly 60%
+// filtered queries, 30% point lookups (when keys exist), 10% stats.
+func buildTraffic(baseURL string, keys []string) []string {
+	var urls []string
+	for i, q := range queryMix {
+		urls = append(urls, baseURL+q)
+		if len(keys) > 0 {
+			urls = append(urls, baseURL+"/v1/errata/"+keys[i%len(keys)])
+		}
+		if i%3 == 0 {
+			urls = append(urls, baseURL+"/v1/stats")
+		}
+	}
+	return urls
+}
+
+// scrape fetches /metrics and extracts the per-endpoint request
+// duration histograms.
+func scrape(client *http.Client, baseURL string) (map[string]*promHist, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	return parseHistograms(resp.Body, durationFamily, "endpoint")
+}

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promHist is one endpoint's request-duration histogram as scraped from
+// the Prometheus text exposition: cumulative bucket counts over the
+// upper bounds, plus the +Inf bucket as the final entry.
+type promHist struct {
+	bounds []float64 // finite upper bounds, ascending
+	counts []uint64  // cumulative; len(bounds)+1, last is +Inf
+	sum    float64
+	count  uint64
+}
+
+// clone returns a deep copy so delta() can subtract in place.
+func (h *promHist) clone() *promHist {
+	c := &promHist{
+		bounds: append([]float64(nil), h.bounds...),
+		counts: append([]uint64(nil), h.counts...),
+		sum:    h.sum,
+		count:  h.count,
+	}
+	return c
+}
+
+// delta subtracts a baseline scrape from this one, yielding the
+// histogram of only the observations that landed between the two
+// scrapes. The bucket layouts must match (same registry, same family).
+func (h *promHist) delta(base *promHist) (*promHist, error) {
+	if base == nil {
+		return h.clone(), nil
+	}
+	if len(base.counts) != len(h.counts) {
+		return nil, fmt.Errorf("bucket layout changed between scrapes: %d vs %d buckets",
+			len(base.counts), len(h.counts))
+	}
+	d := h.clone()
+	for i := range d.counts {
+		if base.counts[i] > d.counts[i] {
+			return nil, fmt.Errorf("bucket %d went backwards (%d -> %d); server restarted mid-run?",
+				i, base.counts[i], d.counts[i])
+		}
+		d.counts[i] -= base.counts[i]
+	}
+	if base.count > d.count {
+		return nil, fmt.Errorf("histogram count went backwards; server restarted mid-run?")
+	}
+	d.count -= base.count
+	d.sum -= base.sum
+	return d, nil
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the owning bucket, the same estimate
+// histogram_quantile() computes. Observations in the +Inf bucket clamp
+// to the largest finite bound. Returns 0 for an empty histogram.
+func (h *promHist) quantile(q float64) float64 {
+	if h.count == 0 || len(h.counts) == 0 {
+		return 0
+	}
+	target := q * float64(h.count)
+	for i, c := range h.counts {
+		if float64(c) < target {
+			continue
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo, loCount := 0.0, uint64(0)
+		if i > 0 {
+			lo, loCount = h.bounds[i-1], h.counts[i-1]
+		}
+		width := float64(c - loCount)
+		if width == 0 {
+			return h.bounds[i]
+		}
+		return lo + (h.bounds[i]-lo)*(target-float64(loCount))/width
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// parseLabels splits a Prometheus label body (the text between braces)
+// into a name->value map, handling the \" \\ \n escapes the exposition
+// format defines.
+func parseLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label body %q", body)
+		}
+		name := strings.TrimPrefix(strings.TrimSpace(body[:eq]), ",")
+		name = strings.TrimSpace(name)
+		var val strings.Builder
+		i := eq + 2
+		for ; i < len(body); i++ {
+			switch body[i] {
+			case '\\':
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("dangling escape in %q", body)
+				}
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[i])
+				}
+			case '"':
+				goto closed
+			default:
+				val.WriteByte(body[i])
+			}
+		}
+		return nil, fmt.Errorf("unterminated label value in %q", body)
+	closed:
+		labels[name] = val.String()
+		body = body[i+1:]
+	}
+	return labels, nil
+}
+
+// parseHistograms extracts every series of one histogram family (by
+// bare name, e.g. "rememberr_http_request_duration_seconds") from a
+// Prometheus text exposition, keyed by the value of keyLabel
+// (e.g. "endpoint").
+func parseHistograms(r io.Reader, family, keyLabel string) (map[string]*promHist, error) {
+	type rawBucket struct {
+		le  float64
+		cum uint64
+	}
+	buckets := map[string][]rawBucket{}
+	hists := map[string]*promHist{}
+	get := func(key string) *promHist {
+		h, ok := hists[key]
+		if !ok {
+			h = &promHist{}
+			hists[key] = h
+		}
+		return h
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		var suffix string
+		switch {
+		case strings.HasPrefix(rest, "_bucket{"):
+			suffix, rest = "bucket", rest[len("_bucket"):]
+		case strings.HasPrefix(rest, "_sum{"), strings.HasPrefix(rest, "_sum "):
+			suffix, rest = "sum", rest[len("_sum"):]
+		case strings.HasPrefix(rest, "_count{"), strings.HasPrefix(rest, "_count "):
+			suffix, rest = "count", rest[len("_count"):]
+		default:
+			continue // another family sharing the prefix
+		}
+		var labels map[string]string
+		if strings.HasPrefix(rest, "{") {
+			close := strings.LastIndexByte(rest, '}')
+			if close < 0 {
+				return nil, fmt.Errorf("unterminated labels: %s", line)
+			}
+			var err error
+			if labels, err = parseLabels(rest[1:close]); err != nil {
+				return nil, fmt.Errorf("%s: %w", line, err)
+			}
+			rest = rest[close+1:]
+		}
+		valStr := strings.TrimSpace(rest)
+		key := labels[keyLabel]
+		switch suffix {
+		case "bucket":
+			cum, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad bucket count %q: %w", valStr, err)
+			}
+			le := labels["le"]
+			bound := 0.0
+			if le == "+Inf" {
+				bound = inf
+			} else if bound, err = strconv.ParseFloat(le, 64); err != nil {
+				return nil, fmt.Errorf("bad le %q: %w", le, err)
+			}
+			buckets[key] = append(buckets[key], rawBucket{bound, cum})
+		case "sum":
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad sum %q: %w", valStr, err)
+			}
+			get(key).sum = v
+		case "count":
+			v, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad count %q: %w", valStr, err)
+			}
+			get(key).count = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for key, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		h := get(key)
+		for _, b := range bs {
+			if b.le == inf {
+				h.counts = append(h.counts, b.cum)
+				continue
+			}
+			h.bounds = append(h.bounds, b.le)
+			h.counts = append(h.counts, b.cum)
+		}
+		// The exposition always ends each series with +Inf, so after the
+		// sort counts is bounds+1 long; guard against a truncated scrape.
+		if len(h.counts) != len(h.bounds)+1 {
+			return nil, fmt.Errorf("series %q: %d buckets for %d bounds", key, len(h.counts), len(h.bounds))
+		}
+	}
+	return hists, nil
+}
+
+var inf = func() float64 {
+	v, _ := strconv.ParseFloat("+Inf", 64)
+	return v
+}()
+
+// clientQuantile returns the q-quantile of observed client latencies
+// (seconds) by nearest-rank on the sorted sample.
+func clientQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP rememberr_http_request_duration_seconds HTTP request latency, by endpoint.
+# TYPE rememberr_http_request_duration_seconds histogram
+rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="0.001"} 10
+rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="0.01"} 70
+rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="0.1"} 95
+rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="+Inf"} 100
+rememberr_http_request_duration_seconds_sum{endpoint="errata"} 1.5
+rememberr_http_request_duration_seconds_count{endpoint="errata"} 100
+rememberr_http_request_duration_seconds_bucket{endpoint="stats",le="0.001"} 4
+rememberr_http_request_duration_seconds_bucket{endpoint="stats",le="0.01"} 4
+rememberr_http_request_duration_seconds_bucket{endpoint="stats",le="0.1"} 4
+rememberr_http_request_duration_seconds_bucket{endpoint="stats",le="+Inf"} 4
+rememberr_http_request_duration_seconds_sum{endpoint="stats"} 0.002
+rememberr_http_request_duration_seconds_count{endpoint="stats"} 4
+# TYPE rememberr_http_requests_total counter
+rememberr_http_requests_total{endpoint="errata"} 100
+# TYPE rememberr_shard_fanout_duration_seconds histogram
+rememberr_shard_fanout_duration_seconds_bucket{shard="0",le="+Inf"} 7
+rememberr_shard_fanout_duration_seconds_sum{shard="0"} 0.01
+rememberr_shard_fanout_duration_seconds_count{shard="0"} 7
+`
+
+func parseSample(t *testing.T) map[string]*promHist {
+	t.Helper()
+	hists, err := parseHistograms(strings.NewReader(sampleExposition), durationFamily, "endpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hists
+}
+
+func TestParseHistograms(t *testing.T) {
+	hists := parseSample(t)
+	if len(hists) != 2 {
+		t.Fatalf("parsed %d series, want 2 (errata, stats)", len(hists))
+	}
+	h := hists["errata"]
+	if h == nil {
+		t.Fatal("missing errata series")
+	}
+	if h.count != 100 || h.sum != 1.5 {
+		t.Fatalf("errata count/sum = %d/%v, want 100/1.5", h.count, h.sum)
+	}
+	wantBounds := []float64{0.001, 0.01, 0.1}
+	if len(h.bounds) != len(wantBounds) {
+		t.Fatalf("bounds = %v, want %v", h.bounds, wantBounds)
+	}
+	for i, b := range wantBounds {
+		if h.bounds[i] != b {
+			t.Fatalf("bounds = %v, want %v", h.bounds, wantBounds)
+		}
+	}
+	wantCounts := []uint64{10, 70, 95, 100}
+	for i, c := range wantCounts {
+		if h.counts[i] != c {
+			t.Fatalf("counts = %v, want %v", h.counts, wantCounts)
+		}
+	}
+	// The shard-fanout family shares no observations with the request
+	// family and must not bleed in.
+	if _, leaked := hists["0"]; leaked {
+		t.Fatal("shard fan-out series leaked into the request-duration parse")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := parseSample(t)["errata"]
+	// p50: target rank 50 lands in the (0.001, 0.01] bucket holding
+	// ranks 11..70, interpolated 0.001 + 0.009*(50-10)/60.
+	want := 0.001 + 0.009*40.0/60.0
+	if got := h.quantile(0.50); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p50 = %v, want %v", got, want)
+	}
+	// p99: rank 99 lands in the (0.1, +Inf] bucket and clamps to the
+	// largest finite bound.
+	if got := h.quantile(0.99); got != 0.1 {
+		t.Fatalf("p99 = %v, want clamp to 0.1", got)
+	}
+	// Empty histogram.
+	if got := (&promHist{}).quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	before := parseSample(t)["errata"]
+	after := before.clone()
+	for i := range after.counts {
+		after.counts[i] += uint64((i + 1) * 5)
+	}
+	after.count += 20
+	after.sum += 0.25
+
+	d, err := after.delta(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.count != 20 {
+		t.Fatalf("delta count = %d, want 20", d.count)
+	}
+	if math.Abs(d.sum-0.25) > 1e-12 {
+		t.Fatalf("delta sum = %v, want 0.25", d.sum)
+	}
+	for i := range d.counts {
+		if want := uint64((i + 1) * 5); d.counts[i] != want {
+			t.Fatalf("delta counts[%d] = %d, want %d", i, d.counts[i], want)
+		}
+	}
+	// A nil baseline (first scrape) passes through unchanged.
+	if d, err := after.delta(nil); err != nil || d.count != after.count {
+		t.Fatalf("nil-baseline delta = %v, %v", d, err)
+	}
+	// Counters going backwards (server restart) are an error, not a
+	// silent wrap-around.
+	if _, err := before.delta(after); err == nil {
+		t.Fatal("backwards delta succeeded; want error")
+	}
+}
+
+func TestParseLabels(t *testing.T) {
+	labels, err := parseLabels(`endpoint="errata",le="+Inf"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["endpoint"] != "errata" || labels["le"] != "+Inf" {
+		t.Fatalf("labels = %v", labels)
+	}
+	labels, err = parseLabels(`name="a\"b\\c\nd"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["name"] != "a\"b\\c\nd" {
+		t.Fatalf("escaped label = %q", labels["name"])
+	}
+	for _, bad := range []string{`name`, `name=`, `name="unterminated`, `name="x\`} {
+		if _, err := parseLabels(bad); err == nil {
+			t.Fatalf("parseLabels(%q) succeeded; want error", bad)
+		}
+	}
+}
+
+func TestClientQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := clientQuantile(sorted, 0.5); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if got := clientQuantile(sorted, 0.99); got != 10 {
+		t.Fatalf("p99 = %v, want 10", got)
+	}
+	if got := clientQuantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty p50 = %v, want 0", got)
+	}
+	if got := clientQuantile([]float64{42}, 0.01); got != 42 {
+		t.Fatalf("single-sample low quantile = %v, want 42", got)
+	}
+}
+
+func TestBuildTraffic(t *testing.T) {
+	withKeys := buildTraffic("http://x", []string{"k1", "k2"})
+	var lookups, stats int
+	for _, u := range withKeys {
+		if strings.Contains(u, "/v1/errata/k") {
+			lookups++
+		}
+		if strings.HasSuffix(u, "/v1/stats") {
+			stats++
+		}
+	}
+	if lookups == 0 || stats == 0 {
+		t.Fatalf("traffic mix missing lookups (%d) or stats (%d): %v", lookups, stats, withKeys)
+	}
+	for _, u := range buildTraffic("http://x", nil) {
+		if strings.Contains(u, "/v1/errata/k") {
+			t.Fatalf("keyless traffic contains point lookup %s", u)
+		}
+	}
+}

@@ -2,14 +2,17 @@
 //
 // Usage:
 //
-//	errserve [-db FILE | -seed N] [-addr :8372] [-cache N] [-cache-dir D] [-timeout D] [-pprof]
+//	errserve [-db FILE | -seed N] [-addr :8372] [-cache N] [-cache-dir D] [-timeout D] [-shards N] [-pprof]
 //
 // The database is either loaded from a previously saved JSON file
 // (".gz" supported, see 'rememberr build') or built from the synthetic
 // corpus with the given seed. With -cache-dir the build goes through
 // the content-addressed pipeline cache, so restarts and reloads replay
-// unchanged stages instead of recomputing them. The server answers
-// JSON on:
+// unchanged stages instead of recomputing them. With -shards N the
+// errata space is partitioned by deduplicated-key hash into N shards
+// and every query is answered by concurrent scatter-gather with a
+// deterministic merge — responses are byte-identical to the
+// single-index server at any shard count. The server answers JSON on:
 //
 //	GET  /v1/errata        filtered queries (?vendor=Intel&category=...)
 //	GET  /v1/errata/{key}  all occurrences of one deduplicated erratum
@@ -55,16 +58,17 @@ func main() {
 	cacheSize := fs.Int("cache", 256, "query result cache capacity (negative disables)")
 	cacheDir := fs.String("cache-dir", "", "pipeline artifact cache directory (incremental rebuilds)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request handler timeout")
+	shards := fs.Int("shards", 0, "scatter-gather shard count (0 = single index)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof on /debug/pprof/")
 	fs.Parse(os.Args[1:])
 
-	if err := run(*addr, *dbFile, *seed, *par, *cacheSize, *cacheDir, *timeout, *enablePprof); err != nil {
+	if err := run(*addr, *dbFile, *seed, *par, *cacheSize, *shards, *cacheDir, *timeout, *enablePprof); err != nil {
 		fmt.Fprintln(os.Stderr, "errserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbFile string, seed int64, par, cacheSize int, cacheDir string, timeout time.Duration, enablePprof bool) error {
+func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir string, timeout time.Duration, enablePprof bool) error {
 	reg := rememberr.NewRegistry()
 
 	// source produces a fresh *core.Database: from the saved file when
@@ -103,12 +107,17 @@ func run(addr, dbFile string, seed int64, par, cacheSize int, cacheDir string, t
 	srv := serve.New(db, serve.Options{
 		CacheSize:       cacheSize,
 		RequestTimeout:  timeout,
+		Shards:          shards,
 		Observability:   reg,
 		EnableProfiling: enablePprof,
 		Reloader:        source,
 	})
 	st := db.ComputeStats()
-	fmt.Printf("serving %d errata (%d unique) on %s\n", st.Total, st.Unique, addr)
+	if shards > 0 {
+		fmt.Printf("serving %d errata (%d unique) on %s across %d shards\n", st.Total, st.Unique, addr, shards)
+	} else {
+		fmt.Printf("serving %d errata (%d unique) on %s\n", st.Total, st.Unique, addr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -21,6 +21,17 @@
 // shared registry via Options.Observability folds build-pipeline and
 // index metrics into the same /metrics page.
 //
+// With Options.Shards > 0 the server runs as a sharded scatter-gather
+// tier (internal/shard): the errata space is partitioned by dedup-key
+// hash into N shards, each owning its own sub-database and index;
+// /v1/errata fans out to every shard concurrently and merges the
+// shard-local results back into global order (per-shard latency lands
+// in rememberr_shard_fanout_duration_seconds), while /v1/errata/{key}
+// routes to the single shard owning the key. Responses are
+// byte-identical to the single-index server at every shard count —
+// pinned by the equivalence tests — and the whole cluster swaps
+// atomically on reload, exactly like the single-index snapshot.
+//
 // The server holds its data behind an atomically swappable snapshot —
 // an immutable (database, index, generation) triple. Swap installs a
 // new snapshot with zero downtime: each request loads the pointer once
@@ -53,6 +64,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/taxonomy"
 )
 
@@ -81,6 +93,15 @@ type Options struct {
 	// swapped in atomically; the reloader must not mutate it afterwards.
 	// When nil, the reload endpoint answers 501 Not Implemented.
 	Reloader func(ctx context.Context) (*core.Database, error)
+	// Shards selects the sharded scatter-gather tier: the errata space
+	// is partitioned by dedup-key hash into this many shards, each with
+	// its own sub-database and index; /v1/errata fans out to all shards
+	// concurrently and merges into global order, /v1/errata/{key}
+	// routes to the owning shard. 0 (the default) serves from a single
+	// index; 1 runs the full scatter-gather machinery on one shard
+	// (useful for equivalence testing). Results are byte-identical to
+	// the single-index server at every shard count.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -112,15 +133,32 @@ var endpointNames = []string{
 }
 
 // snapshot is one immutable serving state: a database, its inverted
-// index, the precomputed stats, and a monotonically increasing
-// generation id. Handlers load the current snapshot exactly once per
-// request, so every response is internally consistent with a single
-// generation even while Swap installs a new one mid-flight.
+// index (or sharded cluster), the precomputed stats, and a
+// monotonically increasing generation id. Handlers load the current
+// snapshot exactly once per request, so every response is internally
+// consistent with a single generation even while Swap installs a new
+// one mid-flight.
 type snapshot struct {
-	db    *core.Database
-	ix    *index.Index
-	stats core.Stats
-	gen   uint64
+	db      *core.Database
+	ix      *index.Index   // single-index mode; nil when sharded
+	cluster *shard.Cluster // sharded mode; nil when single-index
+	stats   core.Stats
+	gen     uint64
+}
+
+// size and uniqueCount answer the entry counts regardless of mode.
+func (sn *snapshot) size() int {
+	if sn.cluster != nil {
+		return sn.cluster.Entries()
+	}
+	return sn.ix.Size()
+}
+
+func (sn *snapshot) uniqueCount() int {
+	if sn.cluster != nil {
+		return sn.cluster.UniqueCount()
+	}
+	return sn.ix.UniqueCount()
 }
 
 // Server serves atomically swappable database snapshots.
@@ -140,6 +178,11 @@ type Server struct {
 	swaps    *obs.Counter
 
 	endpoints map[string]*endpointInstruments
+
+	// Sharded-tier instruments (nil slices/instruments in single mode).
+	shardLat  []*obs.Histogram // per-shard fan-out latency, indexed by shard id
+	merges    *obs.Counter
+	mergeRows *obs.Counter
 }
 
 // New builds the index over db and returns a ready server serving
@@ -176,6 +219,20 @@ func New(db *core.Database, opts Options) *Server {
 	}
 	s.swaps = reg.Counter("rememberr_snapshot_swaps_total",
 		"Database snapshot installations (including the initial one).")
+	if opts.Shards > 0 {
+		s.shardLat = make([]*obs.Histogram, opts.Shards)
+		for i := range s.shardLat {
+			s.shardLat[i] = reg.Histogram("rememberr_shard_fanout_duration_seconds",
+				"Per-shard query execution latency during scatter-gather fan-out.",
+				obs.LatencyBuckets, obs.L("shard", strconv.Itoa(i)))
+		}
+		s.merges = reg.Counter("rememberr_shard_merges_total",
+			"Scatter-gather merges performed by the sharded tier.")
+		s.mergeRows = reg.Counter("rememberr_shard_merge_rows_total",
+			"Result rows emitted by scatter-gather merges.")
+		reg.Gauge("rememberr_shards", "Shard count of the serving tier.").
+			Set(float64(opts.Shards))
+	}
 	reg.GaugeFunc("rememberr_snapshot_generation", "Currently served snapshot generation.",
 		func() float64 {
 			if snap := s.snap.Load(); snap != nil {
@@ -188,18 +245,25 @@ func New(db *core.Database, opts Options) *Server {
 }
 
 // Swap atomically installs db as the served snapshot and returns its
-// generation id. The index is built and the stats computed before the
-// pointer flips, so requests only ever see complete snapshots;
-// in-flight requests on the previous generation finish against it
-// undisturbed, and response-cache entries of older generations are
-// never served again (keys are generation-scoped). The caller must not
-// mutate db after Swap.
+// generation id. The index (or, in sharded mode, the whole partitioned
+// cluster) is built and the stats computed before the pointer flips, so
+// requests only ever see complete snapshots; in-flight requests on the
+// previous generation finish against it undisturbed, and response-cache
+// entries of older generations are never served again (keys are
+// generation-scoped). The caller must not mutate db after Swap.
 func (s *Server) Swap(db *core.Database) uint64 {
-	ix := index.Build(db)
-	ix.Instrument(s.reg)
-	stats := db.ComputeStats()
+	snap := &snapshot{db: db, stats: db.ComputeStats()}
+	if s.opts.Shards > 0 {
+		snap.cluster = shard.Partition(db, s.opts.Shards)
+		for _, sh := range snap.cluster.Shards {
+			sh.IX.Instrument(s.reg)
+		}
+	} else {
+		snap.ix = index.Build(db)
+		snap.ix.Instrument(s.reg)
+	}
 	s.swapMu.Lock()
-	snap := &snapshot{db: db, ix: ix, stats: stats, gen: s.gen.Add(1)}
+	snap.gen = s.gen.Add(1)
 	s.snap.Store(snap)
 	s.swapMu.Unlock()
 	s.swaps.Inc()
@@ -235,17 +299,17 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // applied. Profiling routes, when enabled, bypass the timeout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/errata", s.instrument("errata", s.handleErrata))
-	mux.HandleFunc("GET /v1/errata/{key}", s.instrument("erratum", s.handleErratum))
-	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
-	mux.HandleFunc("GET /v1/metrics.json", s.instrument("metrics_json", s.handleMetricsJSON))
-	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
-	mux.HandleFunc("POST /v1/admin/reload", s.instrument("admin_reload", s.handleReload))
-	mux.HandleFunc("GET /errata", s.instrument("redirect", s.handleRedirect))
-	mux.HandleFunc("GET /errata/{key}", s.instrument("redirect", s.handleRedirect))
-	mux.HandleFunc("GET /stats", s.instrument("redirect", s.handleRedirect))
-	h := http.Handler(http.TimeoutHandler(mux, s.opts.RequestTimeout, `{"error":"request timed out"}`))
+	mux.Handle("GET /v1/errata", s.route("errata", s.handleErrata))
+	mux.Handle("GET /v1/errata/{key}", s.route("erratum", s.handleErratum))
+	mux.Handle("GET /v1/stats", s.route("stats", s.handleStats))
+	mux.Handle("GET /v1/metrics.json", s.route("metrics_json", s.handleMetricsJSON))
+	mux.Handle("GET /healthz", s.route("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.route("metrics", s.handleMetrics))
+	mux.Handle("POST /v1/admin/reload", s.route("admin_reload", s.handleReload))
+	mux.Handle("GET /errata", s.route("redirect", s.handleRedirect))
+	mux.Handle("GET /errata/{key}", s.route("redirect", s.handleRedirect))
+	mux.Handle("GET /stats", s.route("redirect", s.handleRedirect))
+	h := http.Handler(mux)
 	if s.opts.EnableProfiling {
 		outer := http.NewServeMux()
 		outer.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -328,6 +392,18 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// route wraps one endpoint in the per-request timeout and then the
+// instrumentation, in that order. The timeout must sit inside the
+// instrumentation: http.TimeoutHandler writes its 503 on the real
+// writer while the wrapped handler only ever sees a buffered one, so a
+// single TimeoutHandler around the whole mux (outside instrument) left
+// timeouts invisible to rememberr_http_errors_total — the recorder saw
+// only the inner handler's doomed 200.
+func (s *Server) route(name string, h http.HandlerFunc) http.Handler {
+	inner := http.TimeoutHandler(h, s.opts.RequestTimeout, `{"error":"request timed out"}`)
+	return s.instrument(name, inner.ServeHTTP)
+}
+
 func writeJSON(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -341,19 +417,46 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 
 // filterParams lists every /errata query parameter in canonical order;
 // the cache key is built by walking this list, so two requests with
-// reordered or repeated-but-equal parameters share one cache entry.
+// reordered parameters (or reordered values of a multi-valued
+// parameter) share one cache entry.
 var filterParams = []string{
 	"vendor", "doc", "category", "any_category", "class", "trigger",
 	"min_triggers", "msr", "title", "complex", "sim_only", "workaround",
 	"fix", "disclosed_from", "disclosed_to", "unique", "limit", "offset",
 }
 
+// multiValued marks the parameters where each occurrence adds another
+// filter. Every other parameter is single-valued, and repeating one is
+// a 400: silently using only the first value turned
+// ?vendor=Intel&vendor=AMD into an Intel-only result.
+var multiValued = map[string]bool{
+	"category": true, "any_category": true, "class": true,
+	"trigger": true, "msr": true,
+}
+
+// errataRequest is one compiled /v1/errata query: a list of filters to
+// apply to an index-backed query plus pagination, decoupled from any
+// particular index so the same request can run against the single
+// snapshot index or fan out across every shard's index.
 type errataRequest struct {
-	query  *index.Query
-	unique bool
-	limit  int
-	offset int
-	key    string // canonicalized filter set
+	filters []func(*index.Query)
+	unique  bool
+	limit   int
+	offset  int
+	key     string // canonicalized filter set
+}
+
+// run executes the request's filters against one index and returns the
+// full (unpaginated) match list.
+func (req *errataRequest) run(ix *index.Index) []*core.Erratum {
+	q := ix.Query()
+	for _, f := range req.filters {
+		f(q)
+	}
+	if req.unique {
+		return q.Unique()
+	}
+	return q.All()
 }
 
 func parseBool(s string) (bool, error) {
@@ -369,11 +472,12 @@ func parseBool(s string) (bool, error) {
 
 const dateFmt = "2006-01-02"
 
-// parseFilters compiles URL query parameters into an index query over
-// one snapshot plus a canonical cache key. Unknown parameters are
+// parseFilters compiles URL query parameters into an index-independent
+// filter request plus a canonical cache key. Unknown parameters are
 // rejected so that typos surface as 400s instead of silently matching
-// everything.
-func parseFilters(snap *snapshot, values url.Values) (*errataRequest, error) {
+// everything, and repeating a single-valued parameter is a 400 instead
+// of a silent first-value win.
+func parseFilters(values url.Values) (*errataRequest, error) {
 	for p := range values {
 		known := false
 		for _, k := range filterParams {
@@ -387,11 +491,18 @@ func parseFilters(snap *snapshot, values url.Values) (*errataRequest, error) {
 		}
 	}
 
-	req := &errataRequest{query: snap.ix.Query(), unique: true, limit: 100}
+	req := &errataRequest{unique: true, limit: 100}
 	var keyParts []string
+	// canon appends one cache-key part; multi-valued parameters are
+	// sorted (on a copy — filters may alias vals) so value order never
+	// fragments the cache. Positionally distinct parameters must go in
+	// under distinct param names: collapsing disclosed_from/_to into one
+	// sorted "disclosed" part made swapped date ranges collide onto a
+	// single cache entry.
 	canon := func(param string, vals ...string) {
-		sort.Strings(vals)
-		keyParts = append(keyParts, param+"="+strings.Join(vals, ","))
+		vs := append([]string(nil), vals...)
+		sort.Strings(vs)
+		keyParts = append(keyParts, param+"="+strings.Join(vs, ","))
 	}
 
 	for _, param := range filterParams {
@@ -399,20 +510,24 @@ func parseFilters(snap *snapshot, values url.Values) (*errataRequest, error) {
 		if !ok || len(vals) == 0 {
 			continue
 		}
+		if !multiValued[param] && len(vals) > 1 {
+			return nil, fmt.Errorf("parameter %q is single-valued but was given %d times", param, len(vals))
+		}
 		switch param {
 		case "vendor":
 			v, err := core.ParseVendor(vals[0])
 			if err != nil {
 				return nil, err
 			}
-			req.query.Vendor(v)
+			req.filters = append(req.filters, func(q *index.Query) { q.Vendor(v) })
 			canon(param, v.String())
 		case "doc":
-			req.query.InDocument(vals[0])
-			canon(param, vals[0])
+			doc := vals[0]
+			req.filters = append(req.filters, func(q *index.Query) { q.InDocument(doc) })
+			canon(param, doc)
 		case "category":
 			for _, c := range vals {
-				req.query.WithCategory(c)
+				req.filters = append(req.filters, func(q *index.Query) { q.WithCategory(c) })
 			}
 			canon(param, vals...)
 		case "any_category":
@@ -421,41 +536,44 @@ func parseFilters(snap *snapshot, values url.Values) (*errataRequest, error) {
 			groups := make([]string, 0, len(vals))
 			for _, group := range vals {
 				ids := splitList(group)
-				req.query.AnyCategory(ids...)
-				sort.Strings(ids)
-				groups = append(groups, strings.Join(ids, ","))
+				req.filters = append(req.filters, func(q *index.Query) { q.AnyCategory(ids...) })
+				sorted := append([]string(nil), ids...)
+				sort.Strings(sorted)
+				groups = append(groups, strings.Join(sorted, ","))
 			}
 			canon(param, groups...)
 		case "class":
 			for _, c := range vals {
-				req.query.WithClass(c)
+				req.filters = append(req.filters, func(q *index.Query) { q.WithClass(c) })
 			}
 			canon(param, vals...)
 		case "trigger":
-			req.query.WithAllTriggers(vals...)
+			triggers := vals
+			req.filters = append(req.filters, func(q *index.Query) { q.WithAllTriggers(triggers...) })
 			canon(param, vals...)
 		case "min_triggers":
 			n, err := strconv.Atoi(vals[0])
 			if err != nil {
 				return nil, fmt.Errorf("bad min_triggers %q", vals[0])
 			}
-			req.query.MinTriggers(n)
+			req.filters = append(req.filters, func(q *index.Query) { q.MinTriggers(n) })
 			canon(param, strconv.Itoa(n))
 		case "msr":
 			for _, m := range vals {
-				req.query.ObservableIn(m)
+				req.filters = append(req.filters, func(q *index.Query) { q.ObservableIn(m) })
 			}
 			canon(param, vals...)
 		case "title":
-			req.query.TitleContains(vals[0])
-			canon(param, strings.ToLower(vals[0]))
+			title := vals[0]
+			req.filters = append(req.filters, func(q *index.Query) { q.TitleContains(title) })
+			canon(param, strings.ToLower(title))
 		case "complex":
 			b, err := parseBool(vals[0])
 			if err != nil {
 				return nil, err
 			}
 			if b {
-				req.query.Complex()
+				req.filters = append(req.filters, func(q *index.Query) { q.Complex() })
 			}
 			canon(param, strconv.FormatBool(b))
 		case "sim_only":
@@ -464,7 +582,7 @@ func parseFilters(snap *snapshot, values url.Values) (*errataRequest, error) {
 				return nil, err
 			}
 			if b {
-				req.query.SimulationOnly()
+				req.filters = append(req.filters, func(q *index.Query) { q.SimulationOnly() })
 			}
 			canon(param, strconv.FormatBool(b))
 		case "workaround":
@@ -472,14 +590,14 @@ func parseFilters(snap *snapshot, values url.Values) (*errataRequest, error) {
 			if err != nil {
 				return nil, err
 			}
-			req.query.Workaround(wc)
+			req.filters = append(req.filters, func(q *index.Query) { q.Workaround(wc) })
 			canon(param, wc.String())
 		case "fix":
 			fx, err := core.ParseFixStatus(vals[0])
 			if err != nil {
 				return nil, err
 			}
-			req.query.Fix(fx)
+			req.filters = append(req.filters, func(q *index.Query) { q.Fix(fx) })
 			canon(param, fx.String())
 		case "disclosed_from", "disclosed_to":
 			// Handled together below; canonicalized there.
@@ -525,8 +643,12 @@ func parseFilters(snap *snapshot, values url.Values) (*errataRequest, error) {
 				return nil, fmt.Errorf("bad disclosed_to %q", toS)
 			}
 		}
-		req.query.DisclosedBetween(from, to)
-		canon("disclosed", from.Format(dateFmt), to.Format(dateFmt))
+		req.filters = append(req.filters, func(q *index.Query) { q.DisclosedBetween(from, to) })
+		// from and to stay under separate key parts: they are positional,
+		// and a combined sorted part served one range's cached body for
+		// the swapped (empty) range.
+		canon("disclosed_from", from.Format(dateFmt))
+		canon("disclosed_to", to.Format(dateFmt))
 	}
 
 	sort.Strings(keyParts)
@@ -580,9 +702,32 @@ func cacheKey(gen uint64, filterKey string) string {
 	return "g" + strconv.FormatUint(gen, 10) + "|" + filterKey
 }
 
+// scatterGather fans the compiled request out to every shard
+// concurrently, records per-shard fan-out latency, and merges the
+// shard-local results into the globally ordered page plus the global
+// total.
+func (s *Server) scatterGather(c *shard.Cluster, req *errataRequest) ([]*core.Erratum, int) {
+	lists := make([][]*core.Erratum, len(c.Shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.Shards {
+		wg.Add(1)
+		go func(i int, sh *shard.Shard) {
+			defer wg.Done()
+			start := time.Now()
+			lists[i] = req.run(sh.IX)
+			s.shardLat[sh.ID].Observe(time.Since(start).Seconds())
+		}(i, sh)
+	}
+	wg.Wait()
+	page, total := c.Merge(lists, req.unique, req.offset, req.limit)
+	s.merges.Inc()
+	s.mergeRows.Add(int64(len(page)))
+	return page, total
+}
+
 func (s *Server) handleErrata(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
-	req, err := parseFilters(snap, r.URL.Query())
+	req, err := parseFilters(r.URL.Query())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -592,20 +737,22 @@ func (s *Server) handleErrata(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, body)
 		return
 	}
-	var matches []*core.Erratum
-	if req.unique {
-		matches = req.query.Unique()
+	var page []*core.Erratum
+	var total int
+	if snap.cluster != nil {
+		page, total = s.scatterGather(snap.cluster, req)
 	} else {
-		matches = req.query.All()
-	}
-	page := matches
-	if req.offset < len(page) {
-		page = page[req.offset:]
-	} else {
-		page = nil
-	}
-	if len(page) > req.limit {
-		page = page[:req.limit]
+		matches := req.run(snap.ix)
+		total = len(matches)
+		page = matches
+		if req.offset < len(page) {
+			page = page[req.offset:]
+		} else {
+			page = nil
+		}
+		if len(page) > req.limit {
+			page = page[:req.limit]
+		}
 	}
 	summaries := make([]erratumSummary, 0, len(page))
 	for _, e := range page {
@@ -618,7 +765,7 @@ func (s *Server) handleErrata(w http.ResponseWriter, r *http.Request) {
 		Unique     bool             `json:"unique"`
 		Generation uint64           `json:"generation"`
 		Errata     []erratumSummary `json:"errata"`
-	}{len(matches), req.offset, len(summaries), req.unique, snap.gen, summaries})
+	}{total, req.offset, len(summaries), req.unique, snap.gen, summaries})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -660,7 +807,13 @@ type erratumDetail struct {
 func (s *Server) handleErratum(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	key := r.PathValue("key")
-	occurrences := snap.ix.ByKey(key)
+	var occurrences []*core.Erratum
+	if snap.cluster != nil {
+		// Point lookups route to the single shard owning the key.
+		occurrences = snap.cluster.ByKey(key)
+	} else {
+		occurrences = snap.ix.ByKey(key)
+	}
 	if len(occurrences) == 0 {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no erratum with key %q", key))
 		return
@@ -728,7 +881,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Errata     int    `json:"errata"`
 		Unique     int    `json:"unique"`
 		Generation uint64 `json:"generation"`
-	}{"ok", snap.ix.Size(), snap.ix.UniqueCount(), snap.gen})
+	}{"ok", snap.size(), snap.uniqueCount(), snap.gen})
 	writeJSON(w, http.StatusOK, body)
 }
 

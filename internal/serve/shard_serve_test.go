@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/shard"
+)
+
+// serveFilterMatrix is the /v1/errata query vocabulary for the
+// sharded-vs-single equivalence matrix: every filter parameter at least
+// once, compound filters, and the pagination edges.
+var serveFilterMatrix = []string{
+	"",
+	"vendor=Intel",
+	"vendor=AMD",
+	"doc=intel-06",
+	"category=Trg_POW_pwc",
+	"category=Eff_HNG_hng",
+	"category=Trg_XXX_xxx", // unknown: zero matches on every shard
+	"category=Eff_HNG_hng&category=Trg_POW_pwc",
+	"any_category=Eff_HNG_hng,Eff_HNG_crh",
+	"class=Trg_POW",
+	"class=Eff_HNG",
+	"trigger=Trg_POW_pwc&trigger=Trg_MOP_fen",
+	"min_triggers=2",
+	"workaround=BIOS",
+	"fix=NoFixPlanned",
+	"complex=true",
+	"sim_only=true",
+	"title=the",
+	"msr=MCx_STATUS",
+	"unique=false",
+	"unique=false&limit=1000",
+	"vendor=Intel&category=Eff_HNG_hng",
+	"vendor=AMD&class=Trg_POW&min_triggers=1",
+	"vendor=Intel&class=Trg_POW&min_triggers=1&limit=7&offset=3",
+	"limit=0",
+	"limit=1000",
+	"offset=50&limit=25",
+	"offset=999999", // past the global total
+	"disclosed_from=2010-01-01&disclosed_to=2016-01-01",
+	"disclosed_from=2016-01-01&disclosed_to=2010-01-01", // inverted: empty
+}
+
+// get issues one request straight through a server's handler chain and
+// returns status and body.
+func get(t *testing.T, h http.Handler, url string) (int, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec.Code, rec.Body.Bytes()
+}
+
+// TestShardedEquivalence is the tier's core contract: across the six
+// corpus seeds of the equivalence matrix, every filtered query and
+// point lookup answered by the sharded scatter-gather server is
+// byte-identical to the single-process server's response, at 1, 4 and
+// 16 shards. Caching is disabled so every request exercises the full
+// query path.
+func TestShardedEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		gt, err := corpus.Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deterministic disclosure dates so the date-range filters bite.
+		for i, e := range gt.DB.Errata() {
+			e.Disclosed = time.Date(2008+i%10, time.Month(1+i%12), 1+i%28, 0, 0, 0, 0, time.UTC)
+		}
+		single := New(gt.DB, Options{CacheSize: -1}).Handler()
+		sharded := map[string]http.Handler{}
+		for _, n := range []int{1, 4, 16} {
+			sharded[strconv.Itoa(n)] = New(gt.DB, Options{CacheSize: -1, Shards: n}).Handler()
+		}
+
+		for _, q := range serveFilterMatrix {
+			url := "/v1/errata"
+			if q != "" {
+				url += "?" + q
+			}
+			wantCode, want := get(t, single, url)
+			for n, h := range sharded {
+				gotCode, got := get(t, h, url)
+				if gotCode != wantCode || !bytes.Equal(got, want) {
+					t.Fatalf("seed %d shards=%s %s: %d %q != single %d %q",
+						seed, n, url, gotCode, truncate(got), wantCode, truncate(want))
+				}
+			}
+		}
+
+		// Point lookups: a sample of keys covering every shard of the
+		// 16-way partition, plus a missing key.
+		keys := map[int]string{}
+		for _, e := range gt.DB.Errata() {
+			if e.Key == "" {
+				continue
+			}
+			o := shard.Owner(e.Key, 16)
+			if _, ok := keys[o]; !ok {
+				keys[o] = e.Key
+			}
+		}
+		if len(keys) != 16 {
+			t.Fatalf("seed %d: keys cover %d/16 shards", seed, len(keys))
+		}
+		lookups := []string{"/v1/errata/no-such-key"}
+		for _, key := range keys {
+			lookups = append(lookups, "/v1/errata/"+key)
+		}
+		for _, url := range lookups {
+			wantCode, want := get(t, single, url)
+			for n, h := range sharded {
+				gotCode, got := get(t, h, url)
+				if gotCode != wantCode || !bytes.Equal(got, want) {
+					t.Fatalf("seed %d shards=%s %s: %d != single %d", seed, n, url, gotCode, wantCode)
+				}
+			}
+		}
+	}
+}
+
+func truncate(b []byte) []byte {
+	if len(b) > 120 {
+		return b[:120]
+	}
+	return b
+}
+
+// TestShardedEdgeCases pins the scatter-gather edge cases end to end on
+// a 4-shard server: pagination past the global total, an empty page
+// with the true total, queries where some or all shards contribute
+// nothing, point lookup of a key owned by the last shard, and the
+// tier-level health counts.
+func TestShardedEdgeCases(t *testing.T) {
+	gt, err := corpus.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := gt.DB.ComputeStats()
+	s := New(gt.DB, Options{Shards: 4})
+	h := s.Handler()
+
+	var health struct {
+		Errata int `json:"errata"`
+		Unique int `json:"unique"`
+	}
+	if code := decode(t, h, "/healthz", &health); code != 200 {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if health.Errata != stats.Total || health.Unique != stats.Unique {
+		t.Fatalf("sharded healthz %+v, want %d/%d", health, stats.Total, stats.Unique)
+	}
+
+	var past errataResp
+	decode(t, h, "/v1/errata?offset=999999", &past)
+	if past.Count != 0 || past.Total != stats.Unique || past.Offset != 999999 {
+		t.Fatalf("past-the-end page = %+v, want 0 rows with total %d", past, stats.Unique)
+	}
+
+	var zero errataResp
+	decode(t, h, "/v1/errata?limit=0", &zero)
+	if zero.Count != 0 || len(zero.Errata) != 0 || zero.Total != stats.Unique {
+		t.Fatalf("limit=0 page = %+v, want empty page with total %d", zero, stats.Unique)
+	}
+
+	// Unknown category: every shard returns zero matches.
+	var none errataResp
+	decode(t, h, "/v1/errata?category=Trg_XXX_xxx", &none)
+	if none.Total != 0 || none.Count != 0 {
+		t.Fatalf("zero-match query = %+v", none)
+	}
+
+	// A key owned by the last shard answers identically to a dedicated
+	// single-process server.
+	var lastKey string
+	for _, e := range gt.DB.Errata() {
+		if e.Key != "" && shard.Owner(e.Key, 4) == 3 {
+			lastKey = e.Key
+			break
+		}
+	}
+	if lastKey == "" {
+		t.Fatal("no key owned by the last shard")
+	}
+	single := New(gt.DB, Options{CacheSize: -1}).Handler()
+	wantCode, want := get(t, single, "/v1/errata/"+lastKey)
+	gotCode, got := get(t, h, "/v1/errata/"+lastKey)
+	if gotCode != wantCode || !bytes.Equal(got, want) {
+		t.Fatalf("last-shard key lookup: %d %q != %d %q", gotCode, truncate(got), wantCode, truncate(want))
+	}
+
+	// Fan-out instrumentation: every shard observed the errata queries,
+	// and each query merged exactly once.
+	if v := s.merges.Value(); v == 0 {
+		t.Fatal("no merges recorded")
+	}
+	for i, lat := range s.shardLat {
+		if snap := lat.Snapshot(); snap.Count == 0 {
+			t.Errorf("shard %d recorded no fan-out latency observations", i)
+		}
+	}
+}
+
+// decode issues one request through the handler chain and decodes JSON.
+func decode(t *testing.T, h http.Handler, url string, into any) int {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	if into != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", url, err, rec.Body.Bytes())
+		}
+	}
+	return rec.Code
+}
+
+// TestShardedSwapUnderLoad combines concurrent sharded scatter-gather
+// queries and point lookups with snapshot reloads, under -race: every
+// response must be internally consistent with the generation it
+// reports, across whole-cluster swaps.
+func TestShardedSwapUnderLoad(t *testing.T) {
+	dbA, dbB := swapTestDBs(t)
+	statsA, statsB := dbA.ComputeStats(), dbB.ComputeStats()
+
+	// A key present in both databases, for point-lookup traffic.
+	var key string
+	for _, e := range dbB.Errata() {
+		if e.Key != "" {
+			key = e.Key
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no dedup key in the test database")
+	}
+
+	s := New(dbA, Options{CacheSize: 64, Shards: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	expect := func(gen uint64) int {
+		if gen%2 == 1 {
+			return statsA.Unique
+		}
+		return statsB.Unique
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					// Identical filter key every iteration: cache
+					// torture across cluster swaps.
+					var body struct {
+						Total      int    `json:"total"`
+						Generation uint64 `json:"generation"`
+					}
+					if !getInto(t, client, ts.URL+"/v1/errata?limit=1", &body) {
+						return
+					}
+					if want := expect(body.Generation); body.Total != want {
+						t.Errorf("sharded errata: generation %d total %d, want %d",
+							body.Generation, body.Total, want)
+						return
+					}
+				case 1:
+					var body struct {
+						Total      int    `json:"total"`
+						Count      int    `json:"count"`
+						Generation uint64 `json:"generation"`
+					}
+					if !getInto(t, client, ts.URL+"/v1/errata?vendor=Intel&limit=5&offset=2", &body) {
+						return
+					}
+					if body.Count > 5 || body.Total > expect(body.Generation) {
+						t.Errorf("sharded page: %+v inconsistent", body)
+						return
+					}
+				case 2:
+					// Point lookup routed to the owning shard; the key
+					// exists in both generations.
+					resp, err := client.Get(ts.URL + "/v1/errata/" + key)
+					if err != nil {
+						t.Errorf("point lookup: %v", err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("point lookup = %d", resp.StatusCode)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+
+	lastGen := uint64(1)
+	for i := 0; i < 12; i++ {
+		db := dbB
+		if i%2 == 1 {
+			db = dbA
+		}
+		gen := s.Swap(db)
+		if gen != lastGen+1 {
+			t.Fatalf("swap %d installed generation %d, want %d", i, gen, lastGen+1)
+		}
+		lastGen = gen
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	var final struct {
+		Total      int    `json:"total"`
+		Generation uint64 `json:"generation"`
+	}
+	if !getInto(t, client, ts.URL+"/v1/errata?limit=1", &final) {
+		t.Fatal("final query failed")
+	}
+	if final.Generation != lastGen || final.Total != expect(lastGen) {
+		t.Fatalf("final response %+v, want generation %d with total %d",
+			final, lastGen, expect(lastGen))
+	}
+}
