@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-classify bench-pipeline bench-serve check-metrics fuzz-short cover
+.PHONY: build test race bench bench-classify bench-pipeline bench-serve check-metrics ingest-smoke fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -33,10 +33,16 @@ bench-serve:
 check-metrics:
 	./scripts/check_metrics.sh
 
+# End-to-end streaming-ingest check (HTTP endpoint + spool watcher)
+# against a live errserve.
+ingest-smoke:
+	./scripts/ingest_smoke.sh
+
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzParseDocument -fuzztime 20s -fuzzminimizetime 1x ./internal/specdoc/
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 20s -fuzzminimizetime 1x ./internal/store/
 	$(GO) test -run '^$$' -fuzz FuzzClassifyEquivalence -fuzztime 20s -fuzzminimizetime 1x ./internal/classify/
+	$(GO) test -run '^$$' -fuzz FuzzDeltaMerge -fuzztime 20s -fuzzminimizetime 1x ./internal/ingest/
 
 cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...

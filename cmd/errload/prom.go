@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -172,7 +173,10 @@ func parseHistograms(r io.Reader, family, keyLabel string) (map[string]*promHist
 		}
 		var labels map[string]string
 		if strings.HasPrefix(rest, "{") {
-			close := strings.LastIndexByte(rest, '}')
+			// The closing brace must be found quote-aware: an OpenMetrics
+			// exemplar appends its own "{...}" after the value, so the
+			// last '}' on the line is not necessarily the label section's.
+			close := labelEnd(rest)
 			if close < 0 {
 				return nil, fmt.Errorf("unterminated labels: %s", line)
 			}
@@ -182,7 +186,7 @@ func parseHistograms(r io.Reader, family, keyLabel string) (map[string]*promHist
 			}
 			rest = rest[close+1:]
 		}
-		valStr := strings.TrimSpace(rest)
+		valStr := valueField(rest)
 		key := labels[keyLabel]
 		switch suffix {
 		case "bucket":
@@ -196,6 +200,17 @@ func parseHistograms(r io.Reader, family, keyLabel string) (map[string]*promHist
 				bound = inf
 			} else if bound, err = strconv.ParseFloat(le, 64); err != nil {
 				return nil, fmt.Errorf("bad le %q: %w", le, err)
+			}
+			// ParseFloat accepts spellings the exposition format does not
+			// promise: "NaN" would poison the bound sort (every comparison
+			// false), and "Inf"/"inf"/"+inf" would land an infinite bound
+			// in the finite list, misaligning counts against bounds. Fold
+			// infinity spellings into the +Inf bucket and reject the rest.
+			if math.IsNaN(bound) || math.IsInf(bound, -1) {
+				return nil, fmt.Errorf("bad le %q", le)
+			}
+			if math.IsInf(bound, 1) {
+				bound = inf
 			}
 			buckets[key] = append(buckets[key], rawBucket{bound, cum})
 		case "sum":
@@ -226,13 +241,52 @@ func parseHistograms(r io.Reader, family, keyLabel string) (map[string]*promHist
 			h.bounds = append(h.bounds, b.le)
 			h.counts = append(h.counts, b.cum)
 		}
-		// The exposition always ends each series with +Inf, so after the
-		// sort counts is bounds+1 long; guard against a truncated scrape.
+		// The format requires each series to end with +Inf, but some
+		// emitters omit it; the series count carries the same total, so
+		// synthesize the bucket from it rather than failing the scrape.
+		if len(h.counts) == len(h.bounds) && len(h.bounds) > 0 {
+			if h.count < h.counts[len(h.counts)-1] {
+				return nil, fmt.Errorf("series %q: count %d below last bucket %d",
+					key, h.count, h.counts[len(h.counts)-1])
+			}
+			h.counts = append(h.counts, h.count)
+		}
 		if len(h.counts) != len(h.bounds)+1 {
 			return nil, fmt.Errorf("series %q: %d buckets for %d bounds", key, len(h.counts), len(h.bounds))
 		}
 	}
 	return hists, nil
+}
+
+// labelEnd returns the index of the '}' closing the label section that
+// starts at s[0] == '{', honoring quoted values and their escapes; -1
+// when unterminated.
+func labelEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// valueField isolates the sample value from what follows the label
+// section: an optional timestamp and an OpenMetrics exemplar
+// ("# {...} value [ts]") may trail it.
+func valueField(s string) string {
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
+	}
+	if f := strings.Fields(s); len(f) > 0 {
+		return f[0]
+	}
+	return strings.TrimSpace(s)
 }
 
 var inf = func() float64 {

@@ -183,3 +183,96 @@ func TestBuildTraffic(t *testing.T) {
 		}
 	}
 }
+
+// TestParseHistogramsExemplars pins exemplar tolerance: OpenMetrics
+// emitters append "# {labels} value [ts]" after the sample value, whose
+// own braces and value must not confuse the label scan or the number
+// parse. Timestamps after the value are likewise skipped.
+func TestParseHistogramsExemplars(t *testing.T) {
+	exposition := `
+rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="0.01"} 7 # {trace_id="ab}c"} 0.004 1700000000
+rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="+Inf"} 9 # {trace_id="def"} 0.2
+rememberr_http_request_duration_seconds_sum{endpoint="errata"} 0.5 1700000000123
+rememberr_http_request_duration_seconds_count{endpoint="errata"} 9
+`
+	hists, err := parseHistograms(strings.NewReader(exposition), durationFamily, "endpoint")
+	if err != nil {
+		t.Fatalf("parseHistograms: %v", err)
+	}
+	h := hists["errata"]
+	if h == nil {
+		t.Fatal("missing errata series")
+	}
+	if len(h.bounds) != 1 || h.bounds[0] != 0.01 {
+		t.Fatalf("bounds = %v, want [0.01]", h.bounds)
+	}
+	if len(h.counts) != 2 || h.counts[0] != 7 || h.counts[1] != 9 {
+		t.Fatalf("counts = %v, want [7 9]", h.counts)
+	}
+	if h.sum != 0.5 || h.count != 9 {
+		t.Fatalf("sum/count = %v/%d, want 0.5/9", h.sum, h.count)
+	}
+}
+
+// TestParseHistogramsInfSpellings pins the le-bound hygiene: "NaN" is
+// rejected (it would poison the bound sort), negative infinity is
+// rejected, and the non-canonical "Inf"/"inf"/"+inf" spellings fold
+// into the +Inf bucket instead of landing an infinite "finite" bound.
+func TestParseHistogramsInfSpellings(t *testing.T) {
+	for _, bad := range []string{"NaN", "nan", "-Inf"} {
+		exposition := `rememberr_http_request_duration_seconds_bucket{endpoint="e",le="` + bad + `"} 1
+`
+		if _, err := parseHistograms(strings.NewReader(exposition), durationFamily, "endpoint"); err == nil {
+			t.Fatalf("le=%q accepted", bad)
+		}
+	}
+	for _, spelling := range []string{"Inf", "inf", "+inf"} {
+		exposition := `
+rememberr_http_request_duration_seconds_bucket{endpoint="e",le="0.1"} 3
+rememberr_http_request_duration_seconds_bucket{endpoint="e",le="` + spelling + `"} 5
+rememberr_http_request_duration_seconds_count{endpoint="e"} 5
+`
+		hists, err := parseHistograms(strings.NewReader(exposition), durationFamily, "endpoint")
+		if err != nil {
+			t.Fatalf("le=%q: %v", spelling, err)
+		}
+		h := hists["e"]
+		if len(h.bounds) != 1 || h.bounds[0] != 0.1 {
+			t.Fatalf("le=%q: bounds = %v, want [0.1]", spelling, h.bounds)
+		}
+		if len(h.counts) != 2 || h.counts[1] != 5 {
+			t.Fatalf("le=%q: counts = %v, want [3 5]", spelling, h.counts)
+		}
+	}
+}
+
+// TestParseHistogramsMissingInf pins the missing-+Inf fallback: the
+// series count supplies the +Inf bucket when an emitter omits it, and a
+// count below the last finite bucket is rejected as inconsistent.
+func TestParseHistogramsMissingInf(t *testing.T) {
+	exposition := `
+rememberr_http_request_duration_seconds_bucket{endpoint="e",le="0.01"} 2
+rememberr_http_request_duration_seconds_bucket{endpoint="e",le="0.1"} 6
+rememberr_http_request_duration_seconds_sum{endpoint="e"} 0.4
+rememberr_http_request_duration_seconds_count{endpoint="e"} 8
+`
+	hists, err := parseHistograms(strings.NewReader(exposition), durationFamily, "endpoint")
+	if err != nil {
+		t.Fatalf("parseHistograms: %v", err)
+	}
+	h := hists["e"]
+	if len(h.counts) != 3 || h.counts[2] != 8 {
+		t.Fatalf("counts = %v, want [2 6 8]", h.counts)
+	}
+	if got := h.quantile(0.5); got <= 0.01 || got > 0.1 {
+		t.Fatalf("p50 = %v, want inside (0.01, 0.1]", got)
+	}
+
+	inconsistent := `
+rememberr_http_request_duration_seconds_bucket{endpoint="e",le="0.1"} 6
+rememberr_http_request_duration_seconds_count{endpoint="e"} 3
+`
+	if _, err := parseHistograms(strings.NewReader(inconsistent), durationFamily, "endpoint"); err == nil {
+		t.Fatal("count below last bucket accepted")
+	}
+}

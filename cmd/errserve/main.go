@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	errserve [-db FILE | -seed N] [-addr :8372] [-cache N] [-cache-dir D] [-timeout D] [-shards N] [-pprof]
+//	errserve [-db FILE | -seed N] [-addr :8372] [-cache N] [-cache-dir D] [-timeout D] [-shards N] [-spool D] [-pprof]
 //
 // The database is either loaded from a previously saved JSON file
 // (".gz" supported, see 'rememberr build') or built from the synthetic
@@ -19,6 +19,7 @@
 //	GET  /v1/stats         corpus statistics
 //	GET  /v1/metrics.json  JSON snapshot of the server's instruments
 //	POST /v1/admin/reload  rebuild/reload the database and swap it in
+//	POST /v1/admin/ingest  ingest one specification-update document
 //	GET  /healthz          liveness probe
 //	GET  /metrics          Prometheus text exposition
 //
@@ -28,24 +29,45 @@
 // build-stage timings and classifier counters alongside the HTTP
 // metrics. -pprof additionally mounts net/http/pprof on /debug/pprof/.
 //
+// # Streaming ingest
+//
+// POST /v1/admin/ingest accepts one specification-update document as
+// the request body, parses, classifies and deduplicates it against the
+// live corpus, merges it into the inverted index as a delta
+// (internal/ingest), and swaps the new snapshot in with zero downtime;
+// the response reports the new generation. -spool D additionally
+// watches directory D: files dropped there (write elsewhere, then
+// rename in — or rely on the trailing "END OF DOCUMENT" completeness
+// check) are ingested the same way and moved to D/done or D/failed.
+// -spool-interval tunes the poll period. With -cache-dir the
+// per-document parse+classify work is memoized in the same
+// content-addressed cache the build uses, so replaying a spool after a
+// restart is cheap.
+//
 // SIGHUP triggers the same zero-downtime reload as POST
 // /v1/admin/reload: the database is rebuilt (or re-read from -db) in
 // the background and atomically swapped in; in-flight requests keep
-// the snapshot they started with. It shuts down gracefully on
+// the snapshot they started with. A reload resets the ingest state to
+// the freshly produced database (previously ingested documents not in
+// the rebuilt source are dropped). It shuts down gracefully on
 // SIGINT/SIGTERM, draining in-flight requests.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	rememberr "repro"
 	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/pipeline"
 	"repro/internal/serve"
 )
 
@@ -59,16 +81,18 @@ func main() {
 	cacheDir := fs.String("cache-dir", "", "pipeline artifact cache directory (incremental rebuilds)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request handler timeout")
 	shards := fs.Int("shards", 0, "scatter-gather shard count (0 = single index)")
+	spool := fs.String("spool", "", "spool directory to watch for arriving documents")
+	spoolInterval := fs.Duration("spool-interval", time.Second, "spool poll period")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof on /debug/pprof/")
 	fs.Parse(os.Args[1:])
 
-	if err := run(*addr, *dbFile, *seed, *par, *cacheSize, *shards, *cacheDir, *timeout, *enablePprof); err != nil {
+	if err := run(*addr, *dbFile, *seed, *par, *cacheSize, *shards, *cacheDir, *spool, *spoolInterval, *timeout, *enablePprof); err != nil {
 		fmt.Fprintln(os.Stderr, "errserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir string, timeout time.Duration, enablePprof bool) error {
+func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir, spool string, spoolInterval, timeout time.Duration, enablePprof bool) error {
 	reg := rememberr.NewRegistry()
 
 	// source produces a fresh *core.Database: from the saved file when
@@ -104,13 +128,67 @@ func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir s
 		return err
 	}
 
-	srv := serve.New(db, serve.Options{
+	// The ingester maintains the live corpus fed by /v1/admin/ingest and
+	// the spool watcher. ingestMu serializes each Apply with its
+	// SwapDelta so two concurrent ingests cannot install their snapshots
+	// in the wrong order, and guards ingester replacement on reload.
+	newIngester := func(db *core.Database) *ingest.Ingester {
+		iopts := ingest.Options{Parallelism: par, Observability: reg}
+		if cacheDir != "" {
+			if c, err := pipeline.NewDiskCache(cacheDir); err != nil {
+				fmt.Fprintln(os.Stderr, "errserve: ingest cache disabled:", err)
+			} else {
+				iopts.Cache = c
+			}
+		}
+		return ingest.NewFrom(db, iopts)
+	}
+	var ingestMu sync.Mutex
+	ing := newIngester(db)
+
+	var srv *serve.Server
+	doIngest := func(_ context.Context, text string) (serve.IngestSummary, error) {
+		ingestMu.Lock()
+		defer ingestMu.Unlock()
+		res, err := ing.Apply([]string{text})
+		if err != nil {
+			return serve.IngestSummary{}, err
+		}
+		sum := serve.IngestSummary{
+			Documents: res.Docs,
+			Errata:    res.Errata,
+			Skipped:   res.Skipped,
+		}
+		if res.Changed {
+			sum.Generation = srv.SwapDelta(res.DB)
+		} else {
+			sum.Generation = srv.Generation()
+		}
+		return sum, nil
+	}
+
+	// A reload resets the ingest state to the freshly produced database:
+	// the rebuilt source is authoritative, and documents ingested into
+	// the previous corpus but absent from it are dropped.
+	reload := func(ctx context.Context) (*core.Database, error) {
+		db, err := source(ctx)
+		if err != nil {
+			return nil, err
+		}
+		ingestMu.Lock()
+		ing = newIngester(db)
+		ingestMu.Unlock()
+		return db, nil
+	}
+
+	srv = serve.New(db, serve.Options{
 		CacheSize:       cacheSize,
 		RequestTimeout:  timeout,
 		Shards:          shards,
 		Observability:   reg,
 		EnableProfiling: enablePprof,
-		Reloader:        source,
+		Reloader:        reload,
+		Ingest:          doIngest,
 	})
 	st := db.ComputeStats()
 	if shards > 0 {
@@ -121,6 +199,27 @@ func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir s
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if spool != "" {
+		w := &ingest.Watcher{
+			Dir:      spool,
+			Interval: spoolInterval,
+			Apply: func(ctx context.Context, _ string, text string) error {
+				_, err := doIngest(ctx, text)
+				return err
+			},
+			Observability: reg,
+			Log: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		}
+		fmt.Printf("watching spool %s (every %s)\n", spool, spoolInterval)
+		go func() {
+			if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "errserve: spool:", err)
+			}
+		}()
+	}
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)

@@ -1,0 +1,239 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/taxonomy"
+)
+
+// MergeDelta builds the index for db incrementally from a previously
+// built index instead of walking every entry's annotation again. It is
+// the postings-level half of the streaming-ingest path (internal/ingest):
+// entries shared by pointer between prev's database and db keep their
+// postings (remapped to the new ordinals), entries that disappeared are
+// dropped, and only entries absent from prev pay the full per-entry
+// annotation walk.
+//
+// Contract: an *Erratum shared between the two databases must be
+// completely unchanged — annotation, flags, disclosure, and cluster key
+// included. A delta producer that changes anything about an entry (for
+// example a dedup-key relabel after new documents shifted the cluster
+// numbering) must clone the entry (and shallow-copy its document)
+// instead of mutating it in place; the stale pointer then simply drops
+// out of the remap and the clone is indexed as a new entry. Document
+// metadata may change between snapshots (insertions shift Order), but
+// the relative order of surviving documents — and hence of surviving
+// entries — must be preserved, which core.AssignOrders guarantees: the
+// ordinal remap is then monotonic and every remapped postings list stays
+// sorted. The byKey map is rebuilt from scratch (cluster keys are the
+// one axis that legitimately changes identity across snapshots), and the
+// unique-representative list is recomputed from db.Unique().
+//
+// MergeDelta(nil, db) and a merge against an unrelated previous index
+// both degenerate to Build(db) semantics: with no shared entries nothing
+// remaps and everything is indexed fresh. The differential fuzz target
+// FuzzDeltaMerge (internal/ingest) pins MergeDelta == Build on the union
+// for arbitrary ingest sequences.
+func MergeDelta(prev *Index, db *core.Database) *Index {
+	if prev == nil {
+		return Build(db)
+	}
+	errata := db.Errata()
+	newOrd := make(map[*core.Erratum]int, len(errata))
+	for ord, e := range errata {
+		newOrd[e] = ord
+	}
+	// remap[oldOrd] is the entry's ordinal in the new index, -1 when the
+	// entry is gone. Surviving entries keep their relative order, so the
+	// defined values are strictly increasing.
+	remap := make([]int, len(prev.errata))
+	surviving := make(map[*core.Erratum]bool, len(prev.errata))
+	for old, e := range prev.errata {
+		if n, ok := newOrd[e]; ok {
+			remap[old] = n
+			surviving[e] = true
+		} else {
+			remap[old] = -1
+		}
+	}
+
+	ix := &Index{
+		db:           db,
+		scheme:       db.Scheme,
+		errata:       errata,
+		byVendor:     remapPostings(prev.byVendor, remap),
+		byDoc:        remapPostings(prev.byDoc, remap),
+		byCategory:   remapPostings(prev.byCategory, remap),
+		byTriggerCat: remapPostings(prev.byTriggerCat, remap),
+		byClass:      remapPostings(prev.byClass, remap),
+		byKey:        make(map[string][]int),
+		byWorkaround: remapPostings(prev.byWorkaround, remap),
+		byFix:        remapPostings(prev.byFix, remap),
+		byMSR:        remapPostings(prev.byMSR, remap),
+		complexSet:   remapList(prev.complexSet, remap),
+		simOnlySet:   remapList(prev.simOnlySet, remap),
+		triggerCount: make([]int, len(errata)),
+	}
+	for old, n := range remap {
+		if n >= 0 {
+			ix.triggerCount[n] = prev.triggerCount[old]
+		}
+	}
+
+	// Index the new entries into a scratch index, then union its sorted
+	// postings into the remapped ones. Both sides are sorted (remap is
+	// monotonic; the scratch walk appends in ascending ordinal order), so
+	// the result is identical to what a full Build appends.
+	vendorOf := make(map[string]core.Vendor, len(db.Docs))
+	for key, d := range db.Docs {
+		vendorOf[key] = d.Vendor
+	}
+	add := &Index{
+		scheme:       db.Scheme,
+		byVendor:     make(map[core.Vendor][]int),
+		byDoc:        make(map[string][]int),
+		byCategory:   make(map[string][]int),
+		byTriggerCat: make(map[string][]int),
+		byClass:      make(map[string][]int),
+		byWorkaround: make(map[core.WorkaroundCategory][]int),
+		byFix:        make(map[core.FixStatus][]int),
+		byMSR:        make(map[string][]int),
+		triggerCount: ix.triggerCount, // written positionally, no union needed
+	}
+	for ord, e := range errata {
+		if e.Key != "" { // keys can relabel across snapshots: rebuilt, never remapped
+			ix.byKey[e.Key] = append(ix.byKey[e.Key], ord)
+		}
+		if surviving[e] {
+			continue
+		}
+		add.addEntry(ord, e, vendorOf)
+	}
+	unionPostings(ix.byVendor, add.byVendor)
+	unionPostings(ix.byDoc, add.byDoc)
+	unionPostings(ix.byCategory, add.byCategory)
+	unionPostings(ix.byTriggerCat, add.byTriggerCat)
+	unionPostings(ix.byClass, add.byClass)
+	unionPostings(ix.byWorkaround, add.byWorkaround)
+	unionPostings(ix.byFix, add.byFix)
+	unionPostings(ix.byMSR, add.byMSR)
+	ix.complexSet = union(ix.complexSet, add.complexSet)
+	ix.simOnlySet = union(ix.simOnlySet, add.simOnlySet)
+
+	for _, e := range db.Unique() {
+		if ord, ok := newOrd[e]; ok {
+			ix.uniqueOrds = append(ix.uniqueOrds, ord)
+		}
+	}
+	return ix
+}
+
+// addEntry walks one entry's indexable attributes, appending its ordinal
+// to every postings list except byKey (which Build and MergeDelta manage
+// themselves). Callers append in ascending ordinal order so every list
+// stays sorted.
+func (ix *Index) addEntry(ord int, e *core.Erratum, vendorOf map[string]core.Vendor) {
+	if v, ok := vendorOf[e.DocKey]; ok {
+		ix.byVendor[v] = append(ix.byVendor[v], ord)
+	}
+	ix.byDoc[e.DocKey] = append(ix.byDoc[e.DocKey], ord)
+	ix.byWorkaround[e.WorkaroundCat] = append(ix.byWorkaround[e.WorkaroundCat], ord)
+	ix.byFix[e.Fix] = append(ix.byFix[e.Fix], ord)
+	for _, m := range e.Ann.MSRs {
+		appendOnce(ix.byMSR, m, ord)
+	}
+	if e.Ann.ComplexConditions {
+		ix.complexSet = append(ix.complexSet, ord)
+	}
+	if e.Ann.SimulationOnly {
+		ix.simOnlySet = append(ix.simOnlySet, ord)
+	}
+	classes := make(map[string]bool)
+	for _, k := range taxonomy.Kinds {
+		for _, it := range e.Ann.Items(k) {
+			appendOnce(ix.byCategory, it.Category, ord)
+			if k == taxonomy.Trigger {
+				appendOnce(ix.byTriggerCat, it.Category, ord)
+			}
+			if cl := ix.scheme.ClassOf(it.Category); cl != "" && !classes[cl] {
+				classes[cl] = true
+				ix.byClass[cl] = append(ix.byClass[cl], ord)
+			}
+		}
+	}
+	ix.triggerCount[ord] = len(e.Ann.Categories(taxonomy.Trigger, ix.scheme))
+}
+
+// remapPostings rewrites every list of a postings map through remap,
+// dropping removed ordinals and empty lists (Build never stores empty
+// lists, and equality with Build is the whole point).
+func remapPostings[K comparable](m map[K][]int, remap []int) map[K][]int {
+	out := make(map[K][]int, len(m))
+	for k, l := range m {
+		if r := remapList(l, remap); len(r) > 0 {
+			out[k] = r
+		}
+	}
+	return out
+}
+
+func remapList(l []int, remap []int) []int {
+	var out []int
+	for _, old := range l {
+		if n := remap[old]; n >= 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// unionPostings merges the sorted add lists into dst in place.
+func unionPostings[K comparable](dst, add map[K][]int) {
+	for k, l := range add {
+		dst[k] = union(dst[k], l)
+	}
+}
+
+// DebugDump renders the complete index state — entry identities, every
+// postings family in sorted key order, flags, trigger counts and the
+// unique-representative ordinals — as deterministic text. Two indexes
+// over equal databases dump identically iff they are structurally equal,
+// which is what the delta-merge differential tests and the
+// FuzzDeltaMerge target compare.
+func (ix *Index) DebugDump() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "entries %d\n", len(ix.errata))
+	for ord, e := range ix.errata {
+		fmt.Fprintf(&b, "e %d %s key=%q trig=%d\n", ord, e.FullID(), e.Key, ix.triggerCount[ord])
+	}
+	fmt.Fprintf(&b, "unique %v\n", ix.uniqueOrds)
+	dumpPostings(&b, "vendor", ix.byVendor)
+	dumpPostings(&b, "doc", ix.byDoc)
+	dumpPostings(&b, "category", ix.byCategory)
+	dumpPostings(&b, "trigger", ix.byTriggerCat)
+	dumpPostings(&b, "class", ix.byClass)
+	dumpPostings(&b, "key", ix.byKey)
+	dumpPostings(&b, "workaround", ix.byWorkaround)
+	dumpPostings(&b, "fix", ix.byFix)
+	dumpPostings(&b, "msr", ix.byMSR)
+	fmt.Fprintf(&b, "complex %v\n", ix.complexSet)
+	fmt.Fprintf(&b, "simonly %v\n", ix.simOnlySet)
+	return b.Bytes()
+}
+
+func dumpPostings[K comparable](b *bytes.Buffer, family string, m map[K][]int) {
+	keys := make([]string, 0, len(m))
+	byLabel := make(map[string][]int, len(m))
+	for k, l := range m {
+		label := fmt.Sprint(k)
+		keys = append(keys, label)
+		byLabel[label] = l
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s %q %v\n", family, k, byLabel[k])
+	}
+}

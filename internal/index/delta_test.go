@@ -1,0 +1,137 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// mustEqual fails unless the two indexes dump identically — the
+// structural-equality oracle MergeDelta is specified against.
+func mustEqual(t *testing.T, got, want *Index, what string) {
+	t.Helper()
+	g, w := got.DebugDump(), want.DebugDump()
+	if !bytes.Equal(g, w) {
+		gl, wl := bytes.Split(g, []byte("\n")), bytes.Split(w, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("%s: dump line %d:\n got %s\nwant %s", what, i, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("%s: dumps differ in length (%d vs %d lines)", what, len(gl), len(wl))
+	}
+}
+
+// shareDB returns a database holding the same document pointers as db,
+// minus the listed keys — the deletion shape of a delta.
+func shareDB(t *testing.T, db *core.Database, drop ...string) *core.Database {
+	t.Helper()
+	next := core.NewDatabase()
+	next.Scheme = db.Scheme
+	gone := make(map[string]bool, len(drop))
+	for _, k := range drop {
+		gone[k] = true
+	}
+	for k, d := range db.Docs {
+		if !gone[k] {
+			next.Docs[k] = d
+		}
+	}
+	return next
+}
+
+func TestMergeDeltaNilPrevEqualsBuild(t *testing.T) {
+	db := smallDB(t)
+	mustEqual(t, MergeDelta(nil, db), Build(db), "nil prev")
+}
+
+func TestMergeDeltaNoChange(t *testing.T) {
+	db := smallDB(t)
+	prev := Build(db)
+	mustEqual(t, MergeDelta(prev, shareDB(t, db)), Build(db), "identity delta")
+}
+
+func TestMergeDeltaAddDocument(t *testing.T) {
+	db := smallDB(t)
+	prev := Build(db)
+	next := shareDB(t, db)
+	if err := next.Add(&core.Document{
+		Key: "intel-03", Vendor: core.Intel, Label: "3", Order: 2,
+		Released: time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC),
+		Errata: []*core.Erratum{
+			{
+				DocKey: "intel-03", ID: "CCC001", Seq: 1, Key: "k3",
+				Title: "New cache coherency issue",
+				Fix:   core.FixDone,
+				Ann: core.Annotation{
+					Triggers:          []core.Item{{Category: "Trg_MOP_fen"}},
+					Effects:           []core.Item{{Category: "Eff_HNG_hng"}},
+					MSRs:              []string{"MCx_STATUS"},
+					ComplexConditions: true,
+				},
+			},
+			// A new occurrence of an existing cluster: postings for k1
+			// must union the remapped and the fresh ordinals.
+			{
+				DocKey: "intel-03", ID: "CCC002", Seq: 2, Key: "k1",
+				Title: "Power state hang",
+				Ann: core.Annotation{
+					Triggers: []core.Item{{Category: "Trg_POW_pwc"}},
+					Effects:  []core.Item{{Category: "Eff_HNG_hng"}},
+				},
+			},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, MergeDelta(prev, next), Build(next), "add document")
+}
+
+func TestMergeDeltaRemoveDocument(t *testing.T) {
+	db := smallDB(t)
+	prev := Build(db)
+	next := shareDB(t, db, "intel-01")
+	mustEqual(t, MergeDelta(prev, next), Build(next), "remove document")
+}
+
+// TestMergeDeltaRelabelClone exercises the clone-on-change half of the
+// sharing contract: an entry whose cluster key must change is cloned
+// (document shallow-copied), the stale pointer drops out of the remap,
+// and the clone is indexed as a new entry.
+func TestMergeDeltaRelabelClone(t *testing.T) {
+	db := smallDB(t)
+	prev := Build(db)
+	next := shareDB(t, db)
+	old := next.Docs["intel-02"]
+	renamed := old.Errata[0].Clone()
+	renamed.Key = "k9"
+	dc := *old
+	dc.Errata = []*core.Erratum{renamed}
+	next.Docs["intel-02"] = &dc
+	got := MergeDelta(prev, next)
+	mustEqual(t, got, Build(next), "relabel clone")
+	if hits := got.ByKey("k9"); len(hits) != 1 || hits[0] != renamed {
+		t.Fatalf("ByKey(k9) = %v, want the renamed clone", hits)
+	}
+}
+
+// TestMergeDeltaForeignPrev pins the degenerate case: merging against
+// an index whose database shares nothing with db must still equal a
+// cold Build (everything is indexed fresh, nothing remaps).
+func TestMergeDeltaForeignPrev(t *testing.T) {
+	db := smallDB(t)
+	foreign := core.NewDatabase()
+	foreign.Scheme = db.Scheme
+	if err := foreign.Add(&core.Document{
+		Key: "other-01", Vendor: core.AMD, Label: "x", Order: 0,
+		Errata: []*core.Erratum{{
+			DocKey: "other-01", ID: "999", Seq: 1, Key: "a9",
+			Title: "Unrelated issue",
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, MergeDelta(Build(foreign), db), Build(db), "foreign prev")
+}

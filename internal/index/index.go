@@ -99,38 +99,10 @@ func Build(db *core.Database) *Index {
 	for ord, e := range errata {
 		// Postings are appended in ascending ordinal order, so every
 		// list is sorted by construction.
-		if v, ok := vendorOf[e.DocKey]; ok {
-			ix.byVendor[v] = append(ix.byVendor[v], ord)
-		}
-		ix.byDoc[e.DocKey] = append(ix.byDoc[e.DocKey], ord)
 		if e.Key != "" {
 			ix.byKey[e.Key] = append(ix.byKey[e.Key], ord)
 		}
-		ix.byWorkaround[e.WorkaroundCat] = append(ix.byWorkaround[e.WorkaroundCat], ord)
-		ix.byFix[e.Fix] = append(ix.byFix[e.Fix], ord)
-		for _, m := range e.Ann.MSRs {
-			appendOnce(ix.byMSR, m, ord)
-		}
-		if e.Ann.ComplexConditions {
-			ix.complexSet = append(ix.complexSet, ord)
-		}
-		if e.Ann.SimulationOnly {
-			ix.simOnlySet = append(ix.simOnlySet, ord)
-		}
-		classes := make(map[string]bool)
-		for _, k := range taxonomy.Kinds {
-			for _, it := range e.Ann.Items(k) {
-				appendOnce(ix.byCategory, it.Category, ord)
-				if k == taxonomy.Trigger {
-					appendOnce(ix.byTriggerCat, it.Category, ord)
-				}
-				if cl := ix.scheme.ClassOf(it.Category); cl != "" && !classes[cl] {
-					classes[cl] = true
-					ix.byClass[cl] = append(ix.byClass[cl], ord)
-				}
-			}
-		}
-		ix.triggerCount[ord] = len(e.Ann.Categories(taxonomy.Trigger, ix.scheme))
+		ix.addEntry(ord, e, vendorOf)
 	}
 	ordOf := make(map[*core.Erratum]int, len(errata))
 	for ord, e := range errata {

@@ -1,0 +1,295 @@
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/pipeline"
+	"repro/internal/specdoc"
+	"repro/internal/store"
+)
+
+// seedTexts renders the corpus for one seed into ingestible document
+// texts, in deterministic (document-key) order.
+func seedTexts(t testing.TB, seed int64) []string {
+	t.Helper()
+	gt, err := corpus.Generate(seed)
+	if err != nil {
+		t.Fatalf("corpus.Generate(%d): %v", seed, err)
+	}
+	rendered := specdoc.WriteAll(gt.DB, specdoc.WriteOptions{})
+	keys := make([]string, 0, len(rendered))
+	for k := range rendered {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	texts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		texts = append(texts, rendered[k])
+	}
+	return texts
+}
+
+// mustEncode returns the canonical byte form of a database, the
+// comparison primitive of the convergence contract.
+func mustEncode(t testing.TB, db *core.Database) []byte {
+	t.Helper()
+	b, err := store.Encode(db)
+	if err != nil {
+		t.Fatalf("store.Encode: %v", err)
+	}
+	return b
+}
+
+// splitBatches cuts texts into 1..len batches at random boundaries.
+func splitBatches(rng *rand.Rand, texts []string) [][]string {
+	if len(texts) == 0 {
+		return nil
+	}
+	var batches [][]string
+	for start := 0; start < len(texts); {
+		n := 1 + rng.Intn(len(texts)-start)
+		batches = append(batches, texts[start:start+n])
+		start += n
+	}
+	return batches
+}
+
+// TestApplyMatchesColdBuild pins the trivial end of the convergence
+// contract: one Apply over everything equals Build over everything.
+func TestApplyMatchesColdBuild(t *testing.T) {
+	texts := seedTexts(t, 1)
+	wantDB, wantIX, err := Build(nil, texts, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	in := New(Options{Parallelism: 4})
+	res, err := in.Apply(texts)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !res.Changed || res.Docs != len(texts) {
+		t.Fatalf("Apply: Changed=%v Docs=%d, want true/%d", res.Changed, res.Docs, len(texts))
+	}
+	if got, want := mustEncode(t, res.DB), mustEncode(t, wantDB); !bytes.Equal(got, want) {
+		t.Fatalf("single-batch Apply database differs from cold Build (%d vs %d bytes)", len(got), len(want))
+	}
+	if got, want := res.Index.DebugDump(), wantIX.DebugDump(); !bytes.Equal(got, want) {
+		t.Fatalf("single-batch Apply index differs from cold Build:\n%s", firstDiff(got, want))
+	}
+}
+
+// TestConvergenceAcrossArrivalOrders is the convergence contract
+// proper: for every corpus seed of the equivalence matrix, any document
+// arrival order and any batch split — ingested incrementally with delta
+// index merges — lands on a database byte-identical to the cold Build
+// over the union, with a structurally identical index, at every worker
+// count.
+func TestConvergenceAcrossArrivalOrders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence matrix is slow; run without -short")
+	}
+	for _, seed := range []int64{1, 2, 3, 4, 5, 6} {
+		texts := seedTexts(t, seed)
+		// One shared artifact cache per seed: trials after the first
+		// re-parse nothing, and the cache path itself is exercised.
+		cache := pipeline.NewMemCache()
+		wantDB, wantIX, err := Build(nil, texts, Options{Parallelism: 4, Cache: cache})
+		if err != nil {
+			t.Fatalf("seed %d: Build: %v", seed, err)
+		}
+		want := mustEncode(t, wantDB)
+		wantDump := wantIX.DebugDump()
+		for _, par := range []int{1, 4} {
+			rng := rand.New(rand.NewSource(seed * 101))
+			for trial := 0; trial < 3; trial++ {
+				perm := append([]string(nil), texts...)
+				rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+				in := New(Options{Parallelism: par, Cache: cache})
+				var last *Result
+				for _, batch := range splitBatches(rng, perm) {
+					if last, err = in.Apply(batch); err != nil {
+						t.Fatalf("seed %d par %d trial %d: Apply: %v", seed, par, trial, err)
+					}
+				}
+				got := mustEncode(t, last.DB)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("seed %d par %d trial %d: converged database differs from cold Build", seed, par, trial)
+				}
+				// last.Index was produced by the chain of MergeDelta calls;
+				// comparing it against the cold index.Build pins the delta
+				// merge itself, not just the database.
+				if dump := last.Index.DebugDump(); !bytes.Equal(dump, wantDump) {
+					t.Fatalf("seed %d par %d trial %d: merged index differs from cold Build:\n%s",
+						seed, par, trial, firstDiff(dump, wantDump))
+				}
+			}
+		}
+	}
+}
+
+// TestConvergenceFromSeededDatabase covers the NewFrom path: an
+// ingester seeded with a live database (whose Intel clusters freeze)
+// must converge to Build over the same initial database and the same
+// arriving texts, regardless of arrival order.
+func TestConvergenceFromSeededDatabase(t *testing.T) {
+	texts := seedTexts(t, 2)
+	half := len(texts) / 2
+	initialDB, _, err := Build(nil, texts[:half], Options{Parallelism: 4})
+	if err != nil {
+		t.Fatalf("Build(initial): %v", err)
+	}
+	arriving := texts[half:]
+	wantDB, wantIX, err := Build(initialDB, arriving, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatalf("Build(union): %v", err)
+	}
+	want := mustEncode(t, wantDB)
+	wantDump := wantIX.DebugDump()
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3; trial++ {
+		perm := append([]string(nil), arriving...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		in := NewFrom(initialDB, Options{Parallelism: 4})
+		var last *Result
+		for _, batch := range splitBatches(rng, perm) {
+			if last, err = in.Apply(batch); err != nil {
+				t.Fatalf("trial %d: Apply: %v", trial, err)
+			}
+		}
+		if got := mustEncode(t, last.DB); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: seeded ingest database differs from cold Build", trial)
+		}
+		if dump := last.Index.DebugDump(); !bytes.Equal(dump, wantDump) {
+			t.Fatalf("trial %d: seeded ingest index differs from cold Build:\n%s",
+				trial, firstDiff(dump, wantDump))
+		}
+	}
+}
+
+// TestApplyIdempotentAndRevision covers re-ingest semantics: a
+// byte-identical document is skipped without publishing a snapshot, a
+// revised document replaces its predecessor, and the post-revision
+// state equals a cold Build where the revised text stands for the key.
+func TestApplyIdempotentAndRevision(t *testing.T) {
+	texts := seedTexts(t, 3)
+	in := New(Options{Parallelism: 4})
+	if _, err := in.Apply(texts); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	db0, ix0 := in.Snapshot()
+
+	// Idempotent re-ingest: same bytes, no new snapshot.
+	res, err := in.Apply([]string{texts[0]})
+	if err != nil {
+		t.Fatalf("re-Apply: %v", err)
+	}
+	if res.Changed || res.Skipped != 1 || res.Docs != 0 {
+		t.Fatalf("re-Apply: Changed=%v Skipped=%d Docs=%d, want false/1/0", res.Changed, res.Skipped, res.Docs)
+	}
+	if gotDB, gotIX := in.Snapshot(); gotDB != db0 || gotIX != ix0 {
+		t.Fatalf("idempotent re-ingest replaced the snapshot")
+	}
+
+	// Revision: re-render the first document with its last erratum
+	// dropped and ingest the new text; the revised text wins its key.
+	docs := db0.Documents()
+	victim := docs[0]
+	if len(victim.Errata) < 2 {
+		t.Fatalf("victim document %s has %d errata, need >= 2", victim.Key, len(victim.Errata))
+	}
+	trimmed := *victim
+	trimmed.Errata = victim.Errata[:len(victim.Errata)-1]
+	revised := specdoc.Write(&trimmed, specdoc.WriteOptions{})
+
+	res, err = in.Apply([]string{revised})
+	if err != nil {
+		t.Fatalf("Apply(revised): %v", err)
+	}
+	if !res.Changed || res.Replaced != 1 {
+		t.Fatalf("Apply(revised): Changed=%v Replaced=%d, want true/1", res.Changed, res.Replaced)
+	}
+	gotDB, gotIX := in.Snapshot()
+	if got := len(gotDB.Docs[victim.Key].Errata); got != len(victim.Errata)-1 {
+		t.Fatalf("revised document has %d errata, want %d", got, len(victim.Errata)-1)
+	}
+	// The old snapshot is untouched (copy-on-write).
+	if got := len(db0.Docs[victim.Key].Errata); got != len(victim.Errata) {
+		t.Fatalf("revision mutated the previous snapshot (%d errata)", got)
+	}
+
+	// Cold baseline over the union with last-wins revision.
+	union := append(append([]string(nil), texts...), revised)
+	wantDB, wantIX, err := Build(nil, union, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatalf("Build(union): %v", err)
+	}
+	if got, want := mustEncode(t, gotDB), mustEncode(t, wantDB); !bytes.Equal(got, want) {
+		t.Fatalf("post-revision database differs from cold Build")
+	}
+	if got, want := gotIX.DebugDump(), wantIX.DebugDump(); !bytes.Equal(got, want) {
+		t.Fatalf("post-revision index differs from cold Build:\n%s", firstDiff(got, want))
+	}
+}
+
+// TestArtifactCacheHits pins the per-document artifact cache: a second
+// ingester over the same cache re-parses nothing and still converges.
+func TestArtifactCacheHits(t *testing.T) {
+	texts := seedTexts(t, 4)
+	cache := pipeline.NewMemCache()
+	in1 := New(Options{Parallelism: 4, Cache: cache})
+	res1, err := in1.Apply(texts)
+	if err != nil {
+		t.Fatalf("Apply 1: %v", err)
+	}
+	misses := in1.cacheMisses.Value()
+	if misses != int64(len(texts)) {
+		t.Fatalf("first pass: %d cache misses, want %d", misses, len(texts))
+	}
+	in2 := New(Options{Parallelism: 4, Cache: cache})
+	res2, err := in2.Apply(texts)
+	if err != nil {
+		t.Fatalf("Apply 2: %v", err)
+	}
+	if hits := in2.cacheHits.Value(); hits != int64(len(texts)) {
+		t.Fatalf("second pass: %d cache hits, want %d", hits, len(texts))
+	}
+	if got, want := mustEncode(t, res2.DB), mustEncode(t, res1.DB); !bytes.Equal(got, want) {
+		t.Fatalf("cached parse converged to a different database")
+	}
+}
+
+// TestApplyRejectsBadBatch pins batch atomicity: a batch containing an
+// unparseable text leaves the snapshot untouched.
+func TestApplyRejectsBadBatch(t *testing.T) {
+	texts := seedTexts(t, 5)
+	in := New(Options{})
+	if _, err := in.Apply(texts[:1]); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	db0, ix0 := in.Snapshot()
+	if _, err := in.Apply([]string{texts[1], "not a specification update\n"}); err == nil {
+		t.Fatalf("Apply accepted an unparseable document")
+	}
+	if db, ix := in.Snapshot(); db != db0 || ix != ix0 {
+		t.Fatalf("failed batch replaced the snapshot")
+	}
+}
+
+// firstDiff renders the first differing line of two debug dumps.
+func firstDiff(got, want []byte) string {
+	g := bytes.Split(got, []byte("\n"))
+	w := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return fmt.Sprintf("line %d:\n got %s\nwant %s", i, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("dumps differ in length: got %d lines, want %d", len(g), len(w))
+}

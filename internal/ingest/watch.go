@@ -1,0 +1,188 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// doneDir and failedDir are the spool subdirectories processed files
+// move to; subdirectories are never scanned as spool candidates.
+const (
+	doneDir   = "done"
+	failedDir = "failed"
+)
+
+// docTerminator ends every well-formed specification-update document
+// (specdoc.Write emits it; specdoc.Parse tolerates its absence, which
+// is exactly why the watcher must not: a truncated file parses
+// "successfully" as a shorter document).
+const docTerminator = "END OF DOCUMENT"
+
+// Watcher polls a spool directory and feeds arriving specification-
+// update documents to an ingest callback.
+//
+// # Partially written files
+//
+// The watcher must never ingest a file mid-write. The contract has two
+// layers:
+//
+//  1. Temp+rename: producers write the document somewhere else (or
+//     under a name the watcher ignores — a "." prefix, or a ".tmp",
+//     ".part" or "~" suffix) and rename(2) it into the spool, which is
+//     atomic on POSIX filesystems. This is the same discipline
+//     pipeline.DiskCache uses for artifact writes.
+//  2. Defense in depth for producers that violate (1): a spool file is
+//     only ingested once its content ends with the "END OF DOCUMENT"
+//     terminator every well-formed document carries. A half-written
+//     file is silently skipped (and counted on
+//     rememberr_ingest_spool_files_total{result="incomplete"}) until a
+//     later poll sees it completed. Without this check a truncated
+//     document would parse successfully — the parser flushes trailing
+//     errata at EOF — and ingest a silently shortened document.
+//
+// Processed files move to the spool's done/ subdirectory; files whose
+// ingest failed (parse errors, typically) move to failed/ so they stop
+// occupying the poll loop but stay inspectable.
+type Watcher struct {
+	// Dir is the spool directory.
+	Dir string
+	// Interval is the poll period; 0 selects one second.
+	Interval time.Duration
+	// Apply ingests one complete document text; name is the spool file
+	// name (for logging — the document key comes from the text itself).
+	// A non-nil error moves the file to failed/ instead of done/.
+	Apply func(ctx context.Context, name, text string) error
+	// Observability receives the spool instruments; nil selects a
+	// private registry.
+	Observability *obs.Registry
+	// Log, when non-nil, receives one line per processed file.
+	Log func(format string, args ...any)
+
+	ingested   *obs.Counter
+	failed     *obs.Counter
+	incomplete *obs.Counter
+}
+
+// Run polls until ctx is cancelled. The spool directory and its done/
+// and failed/ subdirectories are created if missing.
+func (w *Watcher) Run(ctx context.Context) error {
+	if err := w.init(); err != nil {
+		return err
+	}
+	interval := w.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		if err := w.pollOnce(ctx); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+func (w *Watcher) init() error {
+	if w.Apply == nil {
+		return fmt.Errorf("ingest: watcher needs an Apply callback")
+	}
+	for _, sub := range []string{"", doneDir, failedDir} {
+		if err := os.MkdirAll(filepath.Join(w.Dir, sub), 0o755); err != nil {
+			return fmt.Errorf("ingest: spool: %w", err)
+		}
+	}
+	reg := w.Observability
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	w.ingested = reg.Counter("rememberr_ingest_spool_files_total",
+		"Spool files processed, by result.", obs.L("result", "ingested"))
+	w.failed = reg.Counter("rememberr_ingest_spool_files_total",
+		"Spool files processed, by result.", obs.L("result", "failed"))
+	w.incomplete = reg.Counter("rememberr_ingest_spool_files_total",
+		"Spool files processed, by result.", obs.L("result", "incomplete"))
+	return nil
+}
+
+// pollOnce scans the spool directory once, ingesting every complete
+// candidate file in name order (deterministic across polls).
+func (w *Watcher) pollOnce(ctx context.Context) error {
+	entries, err := os.ReadDir(w.Dir)
+	if err != nil {
+		return fmt.Errorf("ingest: spool: %w", err)
+	}
+	for _, ent := range entries {
+		if ctx.Err() != nil {
+			return nil
+		}
+		name := ent.Name()
+		if ent.IsDir() || !spoolCandidate(name) {
+			continue
+		}
+		path := filepath.Join(w.Dir, name)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			continue // renamed or removed between ReadDir and ReadFile
+		}
+		if !complete(b) {
+			w.incomplete.Inc()
+			w.logf("spool: %s incomplete (no %q terminator), waiting", name, docTerminator)
+			continue
+		}
+		if err := w.Apply(ctx, name, string(b)); err != nil {
+			w.failed.Inc()
+			w.logf("spool: %s failed: %v", name, err)
+			w.move(path, failedDir, name)
+			continue
+		}
+		w.ingested.Inc()
+		w.logf("spool: %s ingested", name)
+		w.move(path, doneDir, name)
+	}
+	return nil
+}
+
+func (w *Watcher) move(path, sub, name string) {
+	if err := os.Rename(path, filepath.Join(w.Dir, sub, name)); err != nil {
+		w.logf("spool: move %s to %s/: %v", name, sub, err)
+	}
+}
+
+func (w *Watcher) logf(format string, args ...any) {
+	if w.Log != nil {
+		w.Log(format, args...)
+	}
+}
+
+// spoolCandidate reports whether a spool file name is eligible for
+// ingestion: hidden files and conventional in-progress suffixes are
+// reserved for producers staging writes (the temp half of the
+// temp+rename contract).
+func spoolCandidate(name string) bool {
+	if strings.HasPrefix(name, ".") {
+		return false
+	}
+	for _, suffix := range []string{".tmp", ".part", "~"} {
+		if strings.HasSuffix(name, suffix) {
+			return false
+		}
+	}
+	return true
+}
+
+// complete reports whether the file content is a finished document:
+// everything up to trailing whitespace must end with the terminator.
+func complete(b []byte) bool {
+	return strings.HasSuffix(strings.TrimRight(string(b), " \t\r\n"), docTerminator)
+}

@@ -1,0 +1,134 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// newTestWatcher returns an initialized watcher over a fresh temp spool
+// whose Apply records the texts it was handed.
+func newTestWatcher(t *testing.T) (*Watcher, *[]string) {
+	t.Helper()
+	var got []string
+	w := &Watcher{
+		Dir: t.TempDir(),
+		Apply: func(_ context.Context, _ string, text string) error {
+			if strings.Contains(text, "poison") {
+				return errors.New("poisoned document")
+			}
+			got = append(got, text)
+			return nil
+		},
+		Observability: obs.NewRegistry(),
+	}
+	if err := w.init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	return w, &got
+}
+
+func spoolWrite(t *testing.T, w *Watcher, name, content string) string {
+	t.Helper()
+	path := filepath.Join(w.Dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	return path
+}
+
+const completeDoc = "SPECIFICATION UPDATE\nsome body\nEND OF DOCUMENT\n"
+
+// TestWatcherSkipsPartiallyWrittenFile is the regression test for the
+// partial-write contract: a document missing its trailing
+// "END OF DOCUMENT" terminator — exactly what a producer that writes
+// in place (instead of temp+rename) exposes mid-write — must not be
+// ingested, must stay in the spool untouched, and must be picked up by
+// a later poll once the write completes.
+func TestWatcherSkipsPartiallyWrittenFile(t *testing.T) {
+	w, got := newTestWatcher(t)
+	half := "SPECIFICATION UPDATE\nsome body, writer still going"
+	path := spoolWrite(t, w, "update.txt", half)
+
+	if err := w.pollOnce(context.Background()); err != nil {
+		t.Fatalf("pollOnce: %v", err)
+	}
+	if len(*got) != 0 {
+		t.Fatalf("half-written file was ingested: %q", *got)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != half {
+		t.Fatalf("half-written file was moved or modified: %v %q", err, b)
+	}
+	if v := w.incomplete.Value(); v != 1 {
+		t.Fatalf("incomplete counter = %d, want 1", v)
+	}
+
+	// The writer finishes; the next poll ingests and moves the file.
+	spoolWrite(t, w, "update.txt", completeDoc)
+	if err := w.pollOnce(context.Background()); err != nil {
+		t.Fatalf("pollOnce: %v", err)
+	}
+	if len(*got) != 1 || (*got)[0] != completeDoc {
+		t.Fatalf("completed file not ingested: %q", *got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("ingested file still in spool")
+	}
+	if _, err := os.Stat(filepath.Join(w.Dir, doneDir, "update.txt")); err != nil {
+		t.Fatalf("ingested file not in done/: %v", err)
+	}
+}
+
+// TestWatcherIgnoresStagingNames pins the temp half of the temp+rename
+// contract: dotfiles and in-progress suffixes are never candidates,
+// and renaming one into a clean name makes it eligible.
+func TestWatcherIgnoresStagingNames(t *testing.T) {
+	w, got := newTestWatcher(t)
+	for _, name := range []string{".hidden", "doc.txt.tmp", "doc.part", "doc.txt~"} {
+		spoolWrite(t, w, name, completeDoc)
+	}
+	if err := w.pollOnce(context.Background()); err != nil {
+		t.Fatalf("pollOnce: %v", err)
+	}
+	if len(*got) != 0 {
+		t.Fatalf("staging-named files were ingested: %d", len(*got))
+	}
+
+	// rename(2) into the spool — the atomic publish.
+	if err := os.Rename(filepath.Join(w.Dir, "doc.txt.tmp"), filepath.Join(w.Dir, "doc.txt")); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if err := w.pollOnce(context.Background()); err != nil {
+		t.Fatalf("pollOnce: %v", err)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("renamed file not ingested")
+	}
+}
+
+// TestWatcherMovesFailedFiles pins that a document the ingest callback
+// rejects lands in failed/ and is not retried.
+func TestWatcherMovesFailedFiles(t *testing.T) {
+	w, got := newTestWatcher(t)
+	spoolWrite(t, w, "bad.txt", "poison\nEND OF DOCUMENT\n")
+	for i := 0; i < 2; i++ {
+		if err := w.pollOnce(context.Background()); err != nil {
+			t.Fatalf("pollOnce: %v", err)
+		}
+	}
+	if len(*got) != 0 {
+		t.Fatalf("failing document was recorded as ingested")
+	}
+	if v := w.failed.Value(); v != 1 {
+		t.Fatalf("failed counter = %d, want 1 (no retry)", v)
+	}
+	if _, err := os.Stat(filepath.Join(w.Dir, failedDir, "bad.txt")); err != nil {
+		t.Fatalf("failed file not in failed/: %v", err)
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"net/url"
@@ -102,6 +103,27 @@ type Options struct {
 	// (useful for equivalence testing). Results are byte-identical to
 	// the single-index server at every shard count.
 	Shards int
+	// Ingest, when non-nil, applies one specification-update document
+	// text to the live corpus for POST /v1/admin/ingest: typically a
+	// closure over an ingest.Ingester whose Apply feeds Server.SwapDelta.
+	// The callback owns the ordering discipline — it must serialize
+	// apply+swap pairs so concurrent ingests cannot install snapshots
+	// out of order. When nil, the ingest endpoint answers 501 Not
+	// Implemented.
+	Ingest func(ctx context.Context, text string) (IngestSummary, error)
+}
+
+// IngestSummary reports what one POST /v1/admin/ingest changed.
+type IngestSummary struct {
+	// Generation is the snapshot generation now serving the document.
+	Generation uint64 `json:"generation"`
+	// Documents is the number of documents added or replaced.
+	Documents int `json:"documents"`
+	// Errata is the entry count of the documents ingested.
+	Errata int `json:"errata"`
+	// Skipped is the number of documents dropped as byte-identical to
+	// the already-served version.
+	Skipped int `json:"skipped"`
 }
 
 func (o Options) withDefaults() Options {
@@ -129,7 +151,7 @@ type endpointInstruments struct {
 // the legacy unversioned paths.
 var endpointNames = []string{
 	"errata", "erratum", "stats", "healthz", "metrics", "metrics_json", "redirect",
-	"admin_reload",
+	"admin_reload", "admin_ingest",
 }
 
 // snapshot is one immutable serving state: a database, its inverted
@@ -173,16 +195,19 @@ type Server struct {
 	// stored in increasing order; reloadMu additionally serializes
 	// whole reloads (build + swap) so concurrent reload requests don't
 	// run redundant rebuilds.
-	swapMu   sync.Mutex
-	reloadMu sync.Mutex
-	swaps    *obs.Counter
+	swapMu     sync.Mutex
+	reloadMu   sync.Mutex
+	swaps      *obs.Counter
+	deltaSwaps *obs.Counter
+	swapLag    *obs.Histogram
 
 	endpoints map[string]*endpointInstruments
 
 	// Sharded-tier instruments (nil slices/instruments in single mode).
-	shardLat  []*obs.Histogram // per-shard fan-out latency, indexed by shard id
-	merges    *obs.Counter
-	mergeRows *obs.Counter
+	shardLat      []*obs.Histogram // per-shard fan-out latency, indexed by shard id
+	merges        *obs.Counter
+	mergeRows     *obs.Counter
+	shardRebuilds *obs.Counter
 }
 
 // New builds the index over db and returns a ready server serving
@@ -219,6 +244,11 @@ func New(db *core.Database, opts Options) *Server {
 	}
 	s.swaps = reg.Counter("rememberr_snapshot_swaps_total",
 		"Database snapshot installations (including the initial one).")
+	s.deltaSwaps = reg.Counter("rememberr_snapshot_delta_swaps_total",
+		"Snapshot installations that went through the delta-merge path.")
+	s.swapLag = reg.Histogram("rememberr_ingest_swap_lag_seconds",
+		"Latency from delta-swap start (index merge / repartition) to snapshot visibility.",
+		obs.LatencyBuckets)
 	if opts.Shards > 0 {
 		s.shardLat = make([]*obs.Histogram, opts.Shards)
 		for i := range s.shardLat {
@@ -230,6 +260,8 @@ func New(db *core.Database, opts Options) *Server {
 			"Scatter-gather merges performed by the sharded tier.")
 		s.mergeRows = reg.Counter("rememberr_shard_merge_rows_total",
 			"Result rows emitted by scatter-gather merges.")
+		s.shardRebuilds = reg.Counter("rememberr_shard_rebuilds_total",
+			"Shard indexes rebuilt by delta swaps (reused shards not counted).")
 		reg.Gauge("rememberr_shards", "Shard count of the serving tier.").
 			Set(float64(opts.Shards))
 	}
@@ -270,6 +302,60 @@ func (s *Server) Swap(db *core.Database) uint64 {
 	return snap.gen
 }
 
+// SwapDelta installs db as the served snapshot by merging against the
+// currently served one instead of rebuilding from scratch: single-index
+// mode runs index.MergeDelta from the previous snapshot's index,
+// sharded mode repartitions via shard.Repartition and rebuilds only the
+// affected shards. db must honor the delta sharing contract with the
+// currently served database (see index.MergeDelta): any *Erratum shared
+// by pointer is completely unchanged, surviving entries keep their
+// relative order. internal/ingest's copy-on-write Apply produces
+// exactly such databases.
+//
+// Unlike Swap, the merge runs under swapMu: the previous snapshot must
+// still be the installed one when the merged successor lands, otherwise
+// two concurrent delta swaps could each merge against the same
+// predecessor and the loser would silently drop the winner's documents.
+// The merge is index-only (annotation walks happen per new entry), so
+// the critical section stays far below a cold Build. The caller must
+// not mutate db after SwapDelta.
+func (s *Server) SwapDelta(db *core.Database) uint64 {
+	start := time.Now()
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	prev := s.snap.Load()
+	snap := &snapshot{db: db, stats: db.ComputeStats()}
+	if s.opts.Shards > 0 {
+		var pc *shard.Cluster
+		if prev != nil {
+			pc = prev.cluster
+		}
+		cluster, rebuilt := shard.Repartition(pc, db, s.opts.Shards)
+		snap.cluster = cluster
+		s.shardRebuilds.Add(int64(rebuilt))
+		// Instrument only freshly built shards: a reused shard's index is
+		// concurrently serving reads, and Instrument writes into it.
+		for i, sh := range cluster.Shards {
+			if pc == nil || i >= len(pc.Shards) || pc.Shards[i] != sh {
+				sh.IX.Instrument(s.reg)
+			}
+		}
+	} else {
+		var pix *index.Index
+		if prev != nil {
+			pix = prev.ix
+		}
+		snap.ix = index.MergeDelta(pix, db)
+		snap.ix.Instrument(s.reg)
+	}
+	snap.gen = s.gen.Add(1)
+	s.snap.Store(snap)
+	s.swaps.Inc()
+	s.deltaSwaps.Inc()
+	s.swapLag.Observe(time.Since(start).Seconds())
+	return snap.gen
+}
+
 // Generation returns the generation id of the currently served
 // snapshot.
 func (s *Server) Generation() uint64 { return s.snap.Load().gen }
@@ -306,6 +392,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /healthz", s.route("healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.route("metrics", s.handleMetrics))
 	mux.Handle("POST /v1/admin/reload", s.route("admin_reload", s.handleReload))
+	mux.Handle("POST /v1/admin/ingest", s.route("admin_ingest", s.handleIngest))
 	mux.Handle("GET /errata", s.route("redirect", s.handleRedirect))
 	mux.Handle("GET /errata/{key}", s.route("redirect", s.handleRedirect))
 	mux.Handle("GET /stats", s.route("redirect", s.handleRedirect))
@@ -900,6 +987,35 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Status     string `json:"status"`
 		Generation uint64 `json:"generation"`
 	}{"ok", gen})
+	writeJSON(w, http.StatusOK, body)
+}
+
+// maxIngestBytes bounds one POST /v1/admin/ingest body; the largest
+// real specification updates render to a few hundred kilobytes, so
+// 16 MiB is generous without letting a runaway client exhaust memory.
+const maxIngestBytes = 16 << 20
+
+// handleIngest feeds one specification-update document into the live
+// corpus via Options.Ingest and reports the resulting generation.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Ingest == nil {
+		writeError(w, http.StatusNotImplemented, "ingest is not configured on this server")
+		return
+	}
+	text, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	sum, err := s.opts.Ingest(r.Context(), string(text))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	body, _ := json.Marshal(struct {
+		Status string `json:"status"`
+		IngestSummary
+	}{"ok", sum})
 	writeJSON(w, http.StatusOK, body)
 }
 

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# ingest_smoke.sh — end-to-end streaming-ingest smoke test.
+#
+# Boots a sharded errserve with a spool directory, then exercises both
+# ingest paths against the real binary:
+#
+#   1. POST /v1/admin/ingest with a rendered document: the generation
+#      must advance and the response must report the ingested document.
+#   2. POSTing the identical bytes again must be an idempotent no-op
+#      (skipped=1, same generation).
+#   3. A half-written spool file (no "END OF DOCUMENT" terminator) must
+#      be left in place, un-ingested.
+#   4. A complete document renamed into the spool must be ingested and
+#      moved to done/ within a few poll periods.
+#
+# Finally the ingest metric families must be present on /metrics.
+# Exits non-zero on any violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${INGEST_SMOKE_PORT:-18373}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/errserve" ./cmd/errserve
+go build -o "$WORK/errgen" ./cmd/errgen
+
+# Documents from a different seed than the server's corpus, so every
+# ingested file genuinely extends the served database.
+"$WORK/errgen" -seed 2 -dir "$WORK/docs" >/dev/null
+DOCS=("$WORK"/docs/*.txt)
+[ "${#DOCS[@]}" -ge 2 ] || { echo "FAIL: errgen produced ${#DOCS[@]} documents" >&2; exit 1; }
+
+SPOOL="$WORK/spool"
+"$WORK/errserve" -addr "$ADDR" -seed 1 -shards 4 -spool "$SPOOL" -spool-interval 100ms &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    if curl -fsS "http://${ADDR}/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+gen() { curl -fsS "http://${ADDR}/healthz" | sed -n 's/.*"generation":\([0-9]*\).*/\1/p'; }
+GEN0=$(gen)
+
+# 1. Ingest over HTTP: generation must advance by one.
+RESP=$(curl -fsS -X POST --data-binary @"${DOCS[0]}" "http://${ADDR}/v1/admin/ingest")
+grep -q '"status":"ok"' <<<"$RESP" || { echo "FAIL: ingest response: $RESP" >&2; exit 1; }
+grep -q '"documents":1' <<<"$RESP" || { echo "FAIL: ingest response: $RESP" >&2; exit 1; }
+GEN1=$(gen)
+[ "$GEN1" -eq $((GEN0 + 1)) ] || { echo "FAIL: generation $GEN0 -> $GEN1 after ingest" >&2; exit 1; }
+
+# 2. Idempotent re-ingest: skipped, no new generation.
+RESP=$(curl -fsS -X POST --data-binary @"${DOCS[0]}" "http://${ADDR}/v1/admin/ingest")
+grep -q '"skipped":1' <<<"$RESP" || { echo "FAIL: re-ingest response: $RESP" >&2; exit 1; }
+[ "$(gen)" -eq "$GEN1" ] || { echo "FAIL: re-ingest advanced the generation" >&2; exit 1; }
+
+# 3. A half-written file must survive several polls un-ingested.
+head -c 200 "${DOCS[1]}" > "$SPOOL/halfway.txt"
+sleep 0.5
+[ -f "$SPOOL/halfway.txt" ] || { echo "FAIL: half-written file was consumed" >&2; exit 1; }
+[ "$(gen)" -eq "$GEN1" ] || { echo "FAIL: half-written file was ingested" >&2; exit 1; }
+rm "$SPOOL/halfway.txt"
+
+# 4. The temp+rename contract: a complete document lands in done/.
+cp "${DOCS[1]}" "$SPOOL/arrival.txt.tmp"
+mv "$SPOOL/arrival.txt.tmp" "$SPOOL/arrival.txt"
+for _ in $(seq 1 50); do
+    if [ -f "$SPOOL/done/arrival.txt" ]; then
+        break
+    fi
+    sleep 0.2
+done
+[ -f "$SPOOL/done/arrival.txt" ] || { echo "FAIL: spooled document not processed" >&2; exit 1; }
+GEN2=$(gen)
+[ "$GEN2" -eq $((GEN1 + 1)) ] || { echo "FAIL: generation $GEN1 -> $GEN2 after spool ingest" >&2; exit 1; }
+
+# The ingested documents must be queryable.
+curl -fsS "http://${ADDR}/v1/errata?limit=1" | grep -q '"total"'
+
+# Ingest metric families on the shared registry.
+EXPO=$(curl -fsS "http://${ADDR}/metrics")
+for want in \
+    'rememberr_ingest_documents_total' \
+    'rememberr_ingest_merge_duration_seconds' \
+    'rememberr_ingest_swap_lag_seconds' \
+    'rememberr_snapshot_delta_swaps_total' \
+    'rememberr_shard_rebuilds_total' \
+    'rememberr_ingest_spool_files_total{result="ingested"}'
+do
+    if ! grep -qF "$want" <<<"$EXPO"; then
+        echo "FAIL: /metrics missing: $want" >&2
+        exit 1
+    fi
+done
+
+echo "OK: streaming ingest validated end to end on $ADDR (generations $GEN0 -> $GEN2)"
