@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-classify bench-pipeline bench-serve check-metrics ingest-smoke fuzz-short cover
+.PHONY: build test race bench bench-classify bench-pipeline bench-serve bench-store check-metrics ingest-smoke fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ bench-pipeline:
 bench-serve:
 	./scripts/bench_serve.sh
 
+# Store-format benchmarks: cold open v1 vs v2 and the stitched serve
+# hot path; emits BENCH_store.json and enforces the >=10x cold-open
+# speedup and <=2 allocs/op gates.
+bench-store:
+	./scripts/bench_store.sh
+
 # End-to-end /metrics exposition check against a live errserve.
 check-metrics:
 	./scripts/check_metrics.sh
@@ -41,6 +47,7 @@ ingest-smoke:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzParseDocument -fuzztime 20s -fuzzminimizetime 1x ./internal/specdoc/
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 20s -fuzzminimizetime 1x ./internal/store/
+	$(GO) test -run '^$$' -fuzz FuzzOpenV2 -fuzztime 20s -fuzzminimizetime 1x ./internal/store/
 	$(GO) test -run '^$$' -fuzz FuzzClassifyEquivalence -fuzztime 20s -fuzzminimizetime 1x ./internal/classify/
 	$(GO) test -run '^$$' -fuzz FuzzDeltaMerge -fuzztime 20s -fuzzminimizetime 1x ./internal/ingest/
 

@@ -4,9 +4,15 @@
 //
 //	errserve [-db FILE | -seed N] [-addr :8372] [-cache N] [-cache-dir D] [-timeout D] [-shards N] [-spool D] [-pprof]
 //
-// The database is either loaded from a previously saved JSON file
+// The database is either loaded from a previously saved store file
 // (".gz" supported, see 'rememberr build') or built from the synthetic
-// corpus with the given seed. With -cache-dir the build goes through
+// corpus with the given seed. Saved files in FormatVersion 2 (see
+// 'rememberr build -format=v2' and 'rememberr convert') start through
+// the zero-decode fast path: the validated file bytes back the
+// database directly, index postings load from the file's arrays, and
+// per-erratum response fragments come from the fragment region, so
+// startup skips the JSON parse, the index build and all hot-path
+// marshaling. With -cache-dir the build goes through
 // the content-addressed pipeline cache, so restarts and reloads replay
 // unchanged stages instead of recomputing them. With -shards N the
 // errata space is partitioned by deduplicated-key hash into N shards
@@ -58,6 +64,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sync"
@@ -69,6 +76,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/pipeline"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -123,9 +131,27 @@ func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir, 
 		return db.Core(), nil
 	}
 
-	db, err := source(context.Background())
-	if err != nil {
-		return err
+	// A -db file in FormatVersion 2 takes the zero-decode fast path:
+	// the validated file buffer backs the database (strings are views
+	// into it), the index postings load from the file's arrays, and
+	// response fragments come from the fragment region — no JSON parse,
+	// no index build, no per-entry marshaling. Everything else (v1
+	// JSON, ".gz", seeded builds) goes through source as before.
+	var sv *store.StoreV2
+	var db *core.Database
+	if dbFile != "" && fileIsV2(dbFile) {
+		var err error
+		if sv, err = store.Open(dbFile); err != nil {
+			return err
+		}
+		if db, err = sv.Database(); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if db, err = source(context.Background()); err != nil {
+			return err
+		}
 	}
 
 	// The ingester maintains the live corpus fed by /v1/admin/ingest and
@@ -181,7 +207,7 @@ func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir, 
 		return db, nil
 	}
 
-	srv = serve.New(db, serve.Options{
+	sopts := serve.Options{
 		CacheSize:       cacheSize,
 		RequestTimeout:  timeout,
 		Shards:          shards,
@@ -189,12 +215,24 @@ func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir, 
 		EnableProfiling: enablePprof,
 		Reloader:        reload,
 		Ingest:          doIngest,
-	})
-	st := db.ComputeStats()
-	if shards > 0 {
-		fmt.Printf("serving %d errata (%d unique) on %s across %d shards\n", st.Total, st.Unique, addr, shards)
+	}
+	if sv != nil {
+		var err error
+		if srv, err = serve.NewFromStore(sv, sopts); err != nil {
+			return err
+		}
 	} else {
-		fmt.Printf("serving %d errata (%d unique) on %s\n", st.Total, st.Unique, addr)
+		srv = serve.New(db, sopts)
+	}
+	st := db.ComputeStats()
+	format := ""
+	if sv != nil {
+		format = " from FormatVersion 2 store"
+	}
+	if shards > 0 {
+		fmt.Printf("serving %d errata (%d unique) on %s across %d shards%s\n", st.Total, st.Unique, addr, shards, format)
+	} else {
+		fmt.Printf("serving %d errata (%d unique) on %s%s\n", st.Total, st.Unique, addr, format)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -241,4 +279,21 @@ func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir, 
 	}()
 
 	return srv.Serve(ctx, addr)
+}
+
+// fileIsV2 peeks at the file's first bytes for the FormatVersion 2
+// magic, so the fast path never reads a v1 file twice. Gzipped v2
+// files fall through to the generic loader, which sniffs after
+// decompression.
+func fileIsV2(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return false
+	}
+	return store.IsV2(head)
 }

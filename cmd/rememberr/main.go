@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rememberr build   [-seed N] [-o db.json] [-cache-dir D] [-trace]  build and save
+//	rememberr build   [-seed N] [-o db.json] [-format v1|v2] [-cache-dir D] [-trace]  build and save
 //	rememberr stats   [-seed N | -db F]              print corpus statistics
 //	rememberr experiment <id>|all|ext [-csv-dir D] [-svg-dir D]
 //	rememberr list                                   list experiment identifiers
@@ -16,6 +16,7 @@
 //	rememberr report  [-o report.html]               single-page HTML report
 //	rememberr taxonomy                               print Tables IV-VI as Markdown
 //	rememberr export  [-structured] [-o F]           export JSON (classic or Table VII)
+//	rememberr convert -in F [-o F] [-format v1|v2]   convert a saved database between formats
 //
 // Every data command accepts -seed N (build seed) or -db FILE (load a
 // previously saved database, ".gz" supported).
@@ -58,6 +59,8 @@ func main() {
 		err = cmdCampaign(args)
 	case "export":
 		err = cmdExport(args)
+	case "convert":
+		err = cmdConvert(args)
 	case "severity":
 		err = cmdSeverity(args)
 	case "rediscovery":
@@ -93,6 +96,7 @@ commands:
   query          filter errata (see -help)
   campaign       derive a ranked test-campaign plan (Section VI)
   export         export the database as JSON
+  convert        convert a saved database between store formats (v1/v2)
   severity       conservative severity breakdown of the unique errata
   rediscovery    per-document inherited/known-at-release statistics
   casestudy      directed-vs-random testing campaign simulation (Section VI)
@@ -131,6 +135,7 @@ func cmdBuild(args []string) error {
 	seed := fs.Int64("seed", 1, "corpus generator seed")
 	par := fs.Int("parallelism", 0, "pipeline worker goroutines (0 = all CPUs, 1 = sequential)")
 	cacheDir := fs.String("cache-dir", "", "pipeline artifact cache directory (incremental rebuilds)")
+	format := fs.String("format", "", "store format: v1 (JSON), v2 (zero-decode binary), or empty to pick by filename (.v2 suffix)")
 	trace := fs.Bool("trace", false, "print the per-stage build timing tree")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,7 +151,7 @@ func cmdBuild(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := store.Save(db.Core(), *out); err != nil {
+	if err := store.SaveFormat(db.Core(), *out, *format); err != nil {
 		return err
 	}
 	st := db.Stats()
@@ -441,5 +446,50 @@ func cmdExport(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d bytes to %s\n", len(data), *out)
+	return nil
+}
+
+// cmdConvert rereads a saved database in whatever format it is in
+// (sniffed from the content) and rewrites it in the requested one, so
+// existing v1 archives can move to the zero-decode FormatVersion 2
+// layout — and back — without a rebuild.
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input database file (v1 or v2, .gz supported)")
+	out := fs.String("o", "", "output file (default: input with .v2 added or removed)")
+	format := fs.String("format", "", "target format: v1, v2, or empty to pick by output filename")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("convert: -in is required")
+	}
+	db, err := store.Load(*in)
+	if err != nil {
+		return err
+	}
+	target := *out
+	if target == "" {
+		// Derive a sibling name: toggle the ".v2" marker before any ".gz".
+		gz := strings.HasSuffix(*in, ".gz")
+		base := strings.TrimSuffix(*in, ".gz")
+		if strings.HasSuffix(base, ".v2") {
+			base = strings.TrimSuffix(base, ".v2")
+		} else {
+			base += ".v2"
+		}
+		target = base
+		if gz {
+			target += ".gz"
+		}
+	}
+	if err := store.SaveFormat(db, target, *format); err != nil {
+		return err
+	}
+	fi, err := os.Stat(target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %s -> %s (%d bytes)\n", *in, target, fi.Size())
 	return nil
 }

@@ -1,0 +1,103 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Parts is the complete structural state of an Index in exported form:
+// every postings family, the precomputed flag sets and trigger counts,
+// and the unique-representative ordinals. It exists so the index can be
+// persisted alongside the database (the FormatVersion 2 store embeds it
+// as flat arrays) and reconstructed by FromParts without re-walking any
+// annotation — the postings-level half of a zero-decode cold open.
+//
+// Ordinals are positions in db.Errata() order, exactly as Build
+// produces them. A Parts value extracted from an index built over db is
+// only meaningful for a database whose Errata() order is identical.
+type Parts struct {
+	UniqueOrds   []int
+	ByVendor     map[core.Vendor][]int
+	ByDoc        map[string][]int
+	ByCategory   map[string][]int
+	ByTriggerCat map[string][]int
+	ByClass      map[string][]int
+	ByKey        map[string][]int
+	ByWorkaround map[core.WorkaroundCategory][]int
+	ByFix        map[core.FixStatus][]int
+	ByMSR        map[string][]int
+	ComplexSet   []int
+	SimOnlySet   []int
+	TriggerCount []int
+}
+
+// Parts extracts the index's structural state. The returned maps and
+// slices alias the index's internals: the caller must treat them as
+// read-only, exactly like query results.
+func (ix *Index) Parts() *Parts {
+	return &Parts{
+		UniqueOrds:   ix.uniqueOrds,
+		ByVendor:     ix.byVendor,
+		ByDoc:        ix.byDoc,
+		ByCategory:   ix.byCategory,
+		ByTriggerCat: ix.byTriggerCat,
+		ByClass:      ix.byClass,
+		ByKey:        ix.byKey,
+		ByWorkaround: ix.byWorkaround,
+		ByFix:        ix.byFix,
+		ByMSR:        ix.byMSR,
+		ComplexSet:   ix.complexSet,
+		SimOnlySet:   ix.simOnlySet,
+		TriggerCount: ix.triggerCount,
+	}
+}
+
+// FromParts reconstructs an Index over db from previously extracted
+// parts, skipping the per-entry annotation walk Build performs. The
+// parts must describe an index over a database with the same Errata()
+// order (the store's v2 decoder guarantees this by checksumming the
+// records and postings together); only the cheap structural invariant —
+// one trigger count per entry, every ordinal in range — is re-checked
+// here. db must not be mutated while the index is in use.
+func FromParts(db *core.Database, p *Parts) (*Index, error) {
+	errata := db.Errata()
+	if len(p.TriggerCount) != len(errata) {
+		return nil, fmt.Errorf("index: parts carry %d trigger counts for %d entries",
+			len(p.TriggerCount), len(errata))
+	}
+	for _, ord := range p.UniqueOrds {
+		if ord < 0 || ord >= len(errata) {
+			return nil, fmt.Errorf("index: parts unique ordinal %d out of range [0,%d)", ord, len(errata))
+		}
+	}
+	ix := &Index{
+		db:           db,
+		scheme:       db.Scheme,
+		errata:       errata,
+		uniqueOrds:   p.UniqueOrds,
+		byVendor:     p.ByVendor,
+		byDoc:        p.ByDoc,
+		byCategory:   p.ByCategory,
+		byTriggerCat: p.ByTriggerCat,
+		byClass:      p.ByClass,
+		byKey:        p.ByKey,
+		byWorkaround: p.ByWorkaround,
+		byFix:        p.ByFix,
+		byMSR:        p.ByMSR,
+		complexSet:   p.ComplexSet,
+		simOnlySet:   p.SimOnlySet,
+		triggerCount: p.TriggerCount,
+	}
+	return ix, nil
+}
+
+// KeyOrds returns the postings list of ordinals bearing the given
+// cluster key. The returned slice is shared with the index and must be
+// treated as read-only; unlike ByKey it performs no allocation, which
+// the serving layer's fragment-stitched point lookup relies on.
+func (ix *Index) KeyOrds(key string) []int { return ix.byKey[key] }
+
+// Entry returns the entry at the given ordinal. The ordinal must come
+// from this index's postings (KeyOrds or query results).
+func (ix *Index) Entry(ord int) *core.Erratum { return ix.errata[ord] }

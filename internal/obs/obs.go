@@ -121,8 +121,15 @@ type Histogram struct {
 }
 
 // LatencyBuckets is the default request-latency bucket layout in
-// seconds (the classic Prometheus DefBuckets).
+// seconds: the classic Prometheus DefBuckets extended downward with
+// sub-millisecond buckets (100 µs to 2.5 ms). Indexed point lookups
+// and fragment-stitched responses complete in tens of microseconds,
+// so a layout bottoming out at 5 ms reported the same p50 for every
+// serving configuration; the sub-ms decades make those differences
+// measurable without changing the upper decades existing dashboards
+// key on.
 var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025,
 	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/store"
+)
+
+// benchWriter is a no-op ResponseWriter with a preallocated header, so
+// the benchmarks measure the handler, not the recorder.
+type benchWriter struct {
+	header http.Header
+	n      int
+}
+
+func (w *benchWriter) Header() http.Header         { return w.header }
+func (w *benchWriter) WriteHeader(int)             {}
+func (w *benchWriter) Write(b []byte) (int, error) { w.n += len(b); return len(b), nil }
+
+func benchV2Server(b *testing.B, shards int) (*Server, string) {
+	b.Helper()
+	gt, err := corpus.Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := store.EncodeV2(gt.DB, store.V2Options{Postings: true, Fragments: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sv, err := store.OpenV2(enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewFromStore(sv, Options{CacheSize: -1, Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := sv.Database()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, db.Unique()[0].Key
+}
+
+// BenchmarkServeErratumByKey measures the /v1/errata/{key} handler
+// body. The stitched variant is the v2 fragment path (the acceptance
+// gate: at most 2 allocs/op); the marshal variant is the encoding/json
+// fallback on the same corpus, for the before/after delta.
+func BenchmarkServeErratumByKey(b *testing.B) {
+	run := func(b *testing.B, srv *Server, key string) {
+		b.Helper()
+		req := httptest.NewRequest("GET", "/v1/errata/"+key, nil)
+		req.SetPathValue("key", key)
+		w := &benchWriter{header: make(http.Header, 4)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.handleErratum(w, req)
+		}
+	}
+	b.Run("stitched", func(b *testing.B) {
+		srv, key := benchV2Server(b, 0)
+		run(b, srv, key)
+	})
+	b.Run("stitched-sharded", func(b *testing.B) {
+		srv, key := benchV2Server(b, 4)
+		run(b, srv, key)
+	})
+	b.Run("marshal", func(b *testing.B) {
+		srv, key := benchV2Server(b, 0)
+		snap := *srv.snap.Load()
+		snap.frags = nil
+		srv.snap.Store(&snap)
+		run(b, srv, key)
+	})
+}
+
+// BenchmarkServeErrataPage measures the /v1/errata page handler with
+// the cache disabled: stitched summary fragments vs the marshal
+// fallback.
+func BenchmarkServeErrataPage(b *testing.B) {
+	run := func(b *testing.B, srv *Server) {
+		b.Helper()
+		req := httptest.NewRequest("GET", "/v1/errata?limit=25", nil)
+		w := &benchWriter{header: make(http.Header, 4)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.handleErrata(w, req)
+		}
+	}
+	b.Run("stitched", func(b *testing.B) {
+		srv, _ := benchV2Server(b, 0)
+		run(b, srv)
+	})
+	b.Run("marshal", func(b *testing.B) {
+		srv, _ := benchV2Server(b, 0)
+		snap := *srv.snap.Load()
+		snap.frags = nil
+		srv.snap.Store(&snap)
+		run(b, srv)
+	})
+}

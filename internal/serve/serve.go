@@ -66,6 +66,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/store"
 	"repro/internal/taxonomy"
 )
 
@@ -166,6 +167,11 @@ type snapshot struct {
 	cluster *shard.Cluster // sharded mode; nil when single-index
 	stats   core.Stats
 	gen     uint64
+	// frags holds the precomputed canonical JSON response fragments of
+	// this snapshot's entries; the hot read path stitches responses
+	// from them instead of marshaling. nil disables stitching (the
+	// handlers fall back to encoding/json), never correctness.
+	frags *store.Fragments
 }
 
 // size and uniqueCount answer the entry counts regardless of mode.
@@ -213,6 +219,28 @@ type Server struct {
 // New builds the index over db and returns a ready server serving
 // generation 1. The caller must not mutate db afterwards.
 func New(db *core.Database, opts Options) *Server {
+	s := newServer(opts)
+	s.Swap(db)
+	return s
+}
+
+// NewFromStore returns a ready server backed by an opened
+// FormatVersion 2 store: the database materializes from the file's
+// records, the index postings load from the file's arrays without an
+// annotation walk, and the response fragments come straight from the
+// fragment region — the zero-decode cold-start path of `errserve -db`.
+// Files missing optional sections degrade gracefully (index built,
+// fragments precomputed in memory). The file buffer must stay alive
+// and unmodified while the server runs.
+func NewFromStore(sv *store.StoreV2, opts Options) (*Server, error) {
+	s := newServer(opts)
+	if _, err := s.SwapStore(sv); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func newServer(opts Options) *Server {
 	opts = opts.withDefaults()
 	reg := opts.Observability
 	if reg == nil {
@@ -272,7 +300,6 @@ func New(db *core.Database, opts Options) *Server {
 			}
 			return 0
 		})
-	s.Swap(db)
 	return s
 }
 
@@ -294,12 +321,60 @@ func (s *Server) Swap(db *core.Database) uint64 {
 		snap.ix = index.Build(db)
 		snap.ix.Instrument(s.reg)
 	}
+	// Fragments are an optimization: on a (never-observed) marshal
+	// failure the snapshot serves through the encoding/json fallback.
+	if frags, err := store.BuildFragments(db); err == nil {
+		snap.frags = frags
+	}
 	s.swapMu.Lock()
 	snap.gen = s.gen.Add(1)
 	s.snap.Store(snap)
 	s.swapMu.Unlock()
 	s.swaps.Inc()
 	return snap.gen
+}
+
+// SwapStore installs the database of an opened FormatVersion 2 store,
+// loading index postings and response fragments from the file where
+// present instead of recomputing them. In sharded mode the stored
+// postings describe the unpartitioned index, so the cluster is
+// partitioned and indexed as in Swap; the fragment region still
+// applies (shards share erratum pointers with the parent database).
+func (s *Server) SwapStore(sv *store.StoreV2) (uint64, error) {
+	db, err := sv.Database()
+	if err != nil {
+		return 0, err
+	}
+	snap := &snapshot{db: db, stats: db.ComputeStats()}
+	if s.opts.Shards > 0 {
+		snap.cluster = shard.Partition(db, s.opts.Shards)
+		for _, sh := range snap.cluster.Shards {
+			sh.IX.Instrument(s.reg)
+		}
+	} else if p := sv.IndexParts(); p != nil {
+		snap.ix, err = index.FromParts(db, p)
+		if err != nil {
+			return 0, err
+		}
+		snap.ix.Instrument(s.reg)
+	} else {
+		snap.ix = index.Build(db)
+		snap.ix.Instrument(s.reg)
+	}
+	frags, err := sv.Fragments()
+	if err != nil {
+		return 0, err
+	}
+	if frags == nil {
+		frags, _ = store.BuildFragments(db)
+	}
+	snap.frags = frags
+	s.swapMu.Lock()
+	snap.gen = s.gen.Add(1)
+	s.snap.Store(snap)
+	s.swapMu.Unlock()
+	s.swaps.Inc()
+	return snap.gen, nil
 }
 
 // SwapDelta installs db as the served snapshot by merging against the
@@ -347,6 +422,16 @@ func (s *Server) SwapDelta(db *core.Database) uint64 {
 		}
 		snap.ix = index.MergeDelta(pix, db)
 		snap.ix.Instrument(s.reg)
+	}
+	// Delta fragment build: entries shared by pointer with the previous
+	// snapshot reuse its fragment bytes, so the cost scales with the
+	// delta like the index merge does.
+	var prevFrags *store.Fragments
+	if prev != nil {
+		prevFrags = prev.frags
+	}
+	if frags, err := store.BuildFragmentsDelta(prevFrags, db); err == nil {
+		snap.frags = frags
 	}
 	snap.gen = s.gen.Add(1)
 	s.snap.Store(snap)
@@ -491,14 +576,30 @@ func (s *Server) route(name string, h http.HandlerFunc) http.Handler {
 	return s.instrument(name, inner.ServeHTTP)
 }
 
+// marshalJSON is the marshal function behind every handler response. It
+// is a seam for tests only: production always points at json.Marshal.
+var marshalJSON = json.Marshal
+
 func writeJSON(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(body)
 }
 
+// writeMarshalError answers a failed response marshal: a 500 carrying a
+// static body, so the failure lands in the error metrics instead of a
+// silently empty 200.
+func writeMarshalError(w http.ResponseWriter, err error) {
+	_ = err
+	writeJSON(w, http.StatusInternalServerError, []byte(`{"error":"response encoding failed"}`))
+}
+
 func writeError(w http.ResponseWriter, status int, msg string) {
-	body, _ := json.Marshal(map[string]string{"error": msg})
+	body, err := marshalJSON(map[string]string{"error": msg})
+	if err != nil {
+		writeMarshalError(w, err)
+		return
+	}
 	writeJSON(w, status, body)
 }
 
@@ -753,32 +854,11 @@ func splitList(s string) []string {
 	return out
 }
 
-type erratumSummary struct {
-	FullID    string `json:"full_id"`
-	Key       string `json:"key,omitempty"`
-	Doc       string `json:"doc"`
-	ID        string `json:"id"`
-	Vendor    string `json:"vendor"`
-	Title     string `json:"title"`
-	Disclosed string `json:"disclosed,omitempty"`
-}
-
-func summarize(snap *snapshot, e *core.Erratum) erratumSummary {
-	sum := erratumSummary{
-		FullID: e.FullID(),
-		Key:    e.Key,
-		Doc:    e.DocKey,
-		ID:     e.ID,
-		Title:  e.Title,
-	}
-	if d := snap.db.Docs[e.DocKey]; d != nil {
-		sum.Vendor = d.Vendor.String()
-	}
-	if !e.Disclosed.IsZero() {
-		sum.Disclosed = e.Disclosed.Format(dateFmt)
-	}
-	return sum
-}
+// The canonical response representations (summary rows, per-occurrence
+// details) live in internal/store: the same DTOs back this package's
+// json.Marshal fallback path, the precomputed fragments stitched on the
+// hot path, and the fragment region of FormatVersion 2 files — one
+// definition, so the paths cannot drift apart byte-wise.
 
 // cacheKey scopes a canonical filter key to one snapshot generation.
 // Entries written by older generations can never match a newer
@@ -841,59 +921,83 @@ func (s *Server) handleErrata(w http.ResponseWriter, r *http.Request) {
 			page = page[:req.limit]
 		}
 	}
-	summaries := make([]erratumSummary, 0, len(page))
-	for _, e := range page {
-		summaries = append(summaries, summarize(snap, e))
+	if body, ok := stitchErrataPage(snap, req, page, total); ok {
+		s.cache.put(key, body)
+		writeJSON(w, http.StatusOK, body)
+		return
 	}
-	body, err := json.Marshal(struct {
-		Total      int              `json:"total"`
-		Offset     int              `json:"offset"`
-		Count      int              `json:"count"`
-		Unique     bool             `json:"unique"`
-		Generation uint64           `json:"generation"`
-		Errata     []erratumSummary `json:"errata"`
+	summaries := make([]store.ErratumSummary, 0, len(page))
+	for _, e := range page {
+		summaries = append(summaries, store.Summarize(snap.db, e))
+	}
+	body, err := marshalJSON(struct {
+		Total      int                    `json:"total"`
+		Offset     int                    `json:"offset"`
+		Count      int                    `json:"count"`
+		Unique     bool                   `json:"unique"`
+		Generation uint64                 `json:"generation"`
+		Errata     []store.ErratumSummary `json:"errata"`
 	}{total, req.offset, len(summaries), req.unique, snap.gen, summaries})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeMarshalError(w, err)
 		return
 	}
 	s.cache.put(key, body)
 	writeJSON(w, http.StatusOK, body)
 }
 
-type itemJSON struct {
-	Category string `json:"category"`
-	Concrete string `json:"concrete,omitempty"`
-}
+// bufPool holds reusable response-stitching buffers. Buffers grow to
+// the largest response they ever carry and are recycled, so the steady
+// state stitches without allocating.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
 
-func itemsJSON(items []core.Item) []itemJSON {
-	out := make([]itemJSON, 0, len(items))
-	for _, it := range items {
-		out = append(out, itemJSON{Category: it.Category, Concrete: it.Concrete})
+// stitchErrataPage assembles the /v1/errata response from precomputed
+// summary fragments, byte-identical to the json.Marshal fallback. The
+// returned body is an exact-size copy (it outlives the request in the
+// response cache); the working buffer is pooled. ok is false when any
+// fragment is missing — the caller falls back to marshaling.
+func stitchErrataPage(snap *snapshot, req *errataRequest, page []*core.Erratum, total int) (body []byte, ok bool) {
+	if snap.frags == nil {
+		return nil, false
 	}
-	return out
-}
-
-type erratumDetail struct {
-	erratumSummary
-	Seq         int        `json:"seq"`
-	Description string     `json:"description,omitempty"`
-	Implication string     `json:"implication,omitempty"`
-	Workaround  string     `json:"workaround,omitempty"`
-	Status      string     `json:"status,omitempty"`
-	WorkCat     string     `json:"workaround_category"`
-	Fix         string     `json:"fix_status"`
-	Triggers    []itemJSON `json:"triggers,omitempty"`
-	Contexts    []itemJSON `json:"contexts,omitempty"`
-	Effects     []itemJSON `json:"effects,omitempty"`
-	MSRs        []string   `json:"msrs,omitempty"`
-	Complex     bool       `json:"complex_conditions,omitempty"`
-	SimOnly     bool       `json:"simulation_only,omitempty"`
+	for _, e := range page {
+		if snap.frags.Summary(e) == nil {
+			return nil, false
+		}
+	}
+	bp := bufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, `{"total":`...)
+	buf = strconv.AppendInt(buf, int64(total), 10)
+	buf = append(buf, `,"offset":`...)
+	buf = strconv.AppendInt(buf, int64(req.offset), 10)
+	buf = append(buf, `,"count":`...)
+	buf = strconv.AppendInt(buf, int64(len(page)), 10)
+	buf = append(buf, `,"unique":`...)
+	buf = strconv.AppendBool(buf, req.unique)
+	buf = append(buf, `,"generation":`...)
+	buf = strconv.AppendUint(buf, snap.gen, 10)
+	buf = append(buf, `,"errata":[`...)
+	for i, e := range page {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, snap.frags.Summary(e)...)
+	}
+	buf = append(buf, "]}"...)
+	body = make([]byte, len(buf))
+	copy(body, buf)
+	*bp = buf
+	bufPool.Put(bp)
+	return body, true
 }
 
 func (s *Server) handleErratum(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	key := r.PathValue("key")
+	if s.stitchErratum(w, snap, key) {
+		return
+	}
 	var occurrences []*core.Erratum
 	if snap.cluster != nil {
 		// Point lookups route to the single shard owning the key.
@@ -905,38 +1009,81 @@ func (s *Server) handleErratum(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no erratum with key %q", key))
 		return
 	}
-	details := make([]erratumDetail, 0, len(occurrences))
+	details := make([]store.ErratumDetail, 0, len(occurrences))
 	for _, e := range occurrences {
-		details = append(details, erratumDetail{
-			erratumSummary: summarize(snap, e),
-			Seq:            e.Seq,
-			Description:    e.Description,
-			Implication:    e.Implication,
-			Workaround:     e.Workaround,
-			Status:         e.Status,
-			WorkCat:        e.WorkaroundCat.String(),
-			Fix:            e.Fix.String(),
-			Triggers:       itemsJSON(e.Ann.Triggers),
-			Contexts:       itemsJSON(e.Ann.Contexts),
-			Effects:        itemsJSON(e.Ann.Effects),
-			MSRs:           e.Ann.MSRs,
-			Complex:        e.Ann.ComplexConditions,
-			SimOnly:        e.Ann.SimulationOnly,
-		})
+		details = append(details, store.DetailOf(snap.db, e))
 	}
-	body, _ := json.Marshal(struct {
-		Key         string          `json:"key"`
-		Occurrences int             `json:"occurrences"`
-		Generation  uint64          `json:"generation"`
-		Entries     []erratumDetail `json:"entries"`
+	body, err := marshalJSON(struct {
+		Key         string                `json:"key"`
+		Occurrences int                   `json:"occurrences"`
+		Generation  uint64                `json:"generation"`
+		Entries     []store.ErratumDetail `json:"entries"`
 	}{key, len(details), snap.gen, details})
+	if err != nil {
+		writeMarshalError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// stitchErratum is the zero-allocation point-lookup path: it assembles
+// the /v1/errata/{key} response from the snapshot's precomputed detail
+// fragments into a pooled buffer, byte-identical to the json.Marshal
+// fallback, and reports whether it handled the request. It declines
+// (returning false, writing nothing) when fragments are unavailable or
+// the key is unknown, leaving the fallback to marshal or 404.
+func (s *Server) stitchErratum(w http.ResponseWriter, snap *snapshot, key string) bool {
+	if snap.frags == nil {
+		return false
+	}
+	keyJSON := snap.frags.KeyJSON(key)
+	if keyJSON == nil {
+		return false
+	}
+	// Resolve occurrences without allocating: ordinal postings in
+	// single-index mode, the owning shard's postings when sharded.
+	var ix *index.Index
+	if snap.cluster != nil {
+		sh := snap.cluster.Shards[shard.Owner(key, snap.cluster.N)]
+		ix = sh.IX
+	} else {
+		ix = snap.ix
+	}
+	ords := ix.KeyOrds(key)
+	if len(ords) == 0 {
+		return false
+	}
+	for _, ord := range ords {
+		if snap.frags.Detail(ix.Entry(ord)) == nil {
+			return false
+		}
+	}
+	bp := bufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, `{"key":`...)
+	buf = append(buf, keyJSON...)
+	buf = append(buf, `,"occurrences":`...)
+	buf = strconv.AppendInt(buf, int64(len(ords)), 10)
+	buf = append(buf, `,"generation":`...)
+	buf = strconv.AppendUint(buf, snap.gen, 10)
+	buf = append(buf, `,"entries":[`...)
+	for i, ord := range ords {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, snap.frags.Detail(ix.Entry(ord))...)
+	}
+	buf = append(buf, "]}"...)
+	writeJSON(w, http.StatusOK, buf)
+	*bp = buf
+	bufPool.Put(bp)
+	return true
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.snap.Load()
 	st := snap.stats
-	body, _ := json.Marshal(struct {
+	body, err := marshalJSON(struct {
 		Documents    int    `json:"documents"`
 		IntelDocs    int    `json:"intel_documents"`
 		AMDDocs      int    `json:"amd_documents"`
@@ -958,17 +1105,25 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		snap.db.Scheme.NumCategories(taxonomy.Kind(-1)),
 		snap.gen,
 	})
+	if err != nil {
+		writeMarshalError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	snap := s.snap.Load()
-	body, _ := json.Marshal(struct {
+	body, err := marshalJSON(struct {
 		Status     string `json:"status"`
 		Errata     int    `json:"errata"`
 		Unique     int    `json:"unique"`
 		Generation uint64 `json:"generation"`
 	}{"ok", snap.size(), snap.uniqueCount(), snap.gen})
+	if err != nil {
+		writeMarshalError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -983,10 +1138,14 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	body, _ := json.Marshal(struct {
+	body, err := marshalJSON(struct {
 		Status     string `json:"status"`
 		Generation uint64 `json:"generation"`
 	}{"ok", gen})
+	if err != nil {
+		writeMarshalError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -1012,10 +1171,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	body, _ := json.Marshal(struct {
+	body, err := marshalJSON(struct {
 		Status string `json:"status"`
 		IngestSummary
 	}{"ok", sum})
+	if err != nil {
+		writeMarshalError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -1062,7 +1225,11 @@ func (s *Server) Metrics() MetricsSnapshot {
 }
 
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
-	body, _ := json.Marshal(s.Metrics())
+	body, err := marshalJSON(s.Metrics())
+	if err != nil {
+		writeMarshalError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 

@@ -130,6 +130,10 @@ func TestPrometheusEndpoint(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE rememberr_http_request_duration_seconds histogram",
 		`rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="+Inf"}`,
+		`rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="0.0001"}`,
+		`rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="0.00025"}`,
+		`rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="0.0005"}`,
+		`rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="0.001"}`,
 		`rememberr_http_requests_total{endpoint="errata"} 2`,
 		`rememberr_http_requests_total{endpoint="stats"} 1`,
 		"rememberr_cache_hits_total 1",

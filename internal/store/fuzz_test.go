@@ -103,3 +103,70 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzOpenV2 fuzzes the FormatVersion 2 binary decoder through
+// DecodeAny. Properties:
+//
+//  1. Neither OpenV2 nor DecodeAny panics, whatever the bytes.
+//  2. If OpenV2 accepts the bytes, materialization succeeds and the
+//     database's canonical v1 encoding round-trips byte-identically
+//     through another v2 encode/open/materialize cycle.
+func FuzzOpenV2(f *testing.F) {
+	db := fuzzSeedDB(f)
+	for _, opts := range []V2Options{
+		{},
+		{Postings: true},
+		{Postings: true, Fragments: true},
+	} {
+		seed, err := EncodeV2(db, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+		// A truncated and a bit-flipped variant steer the fuzzer at the
+		// validation paths from the start.
+		f.Add(seed[:len(seed)/2])
+		flipped := append([]byte(nil), seed...)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte(v2Magic))
+	f.Add([]byte("REMBERR2\x02\x00\x00\x00\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sv, err := OpenV2(data)
+		if err != nil {
+			// Rejected input must also be rejected (or JSON-decoded)
+			// by the sniffing entry point without panicking.
+			_, _ = DecodeAny(data)
+			return
+		}
+		db, err := sv.Database()
+		if err != nil {
+			t.Fatalf("opened store failed to materialize: %v", err)
+		}
+		enc1, err := Encode(db)
+		if err != nil {
+			t.Fatalf("materialized database failed to encode: %v", err)
+		}
+		reenc, err := EncodeV2(db, V2Options{Postings: true, Fragments: true})
+		if err != nil {
+			t.Fatalf("materialized database failed to v2-encode: %v", err)
+		}
+		sv2, err := OpenV2(reenc)
+		if err != nil {
+			t.Fatalf("v2 re-encoding rejected: %v", err)
+		}
+		db2, err := sv2.Database()
+		if err != nil {
+			t.Fatalf("second materialize failed: %v", err)
+		}
+		enc2, err := Encode(db2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("v2 cycle not canonical: first %d bytes, second %d bytes", len(enc1), len(enc2))
+		}
+	})
+}

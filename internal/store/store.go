@@ -234,10 +234,38 @@ func fromItems(items []itDTO) []core.Item {
 	return out
 }
 
-// Save writes the database to a file. Paths ending in ".gz" are
-// gzip-compressed (the full corpus shrinks roughly tenfold).
+// Save writes the database to a file. Paths whose name (before an
+// optional ".gz") ends in ".v2" are written in FormatVersion 2 with
+// postings and response fragments embedded; everything else stays
+// FormatVersion 1 JSON. Paths ending in ".gz" are gzip-compressed (the
+// full v1 corpus shrinks roughly tenfold).
 func Save(db *core.Database, path string) error {
-	data, err := Encode(db)
+	return SaveFormat(db, path, "")
+}
+
+// SaveFormat writes the database in an explicit serialization format:
+// "v1" (JSON), "v2" (the zero-decode binary layout, with postings and
+// fragments), or "" to pick by filename — paths whose name ends in
+// ".v2" (before any ".gz") get FormatVersion 2, everything else v1.
+// ".gz" paths are gzip-compressed regardless of format.
+func SaveFormat(db *core.Database, path, format string) error {
+	if format == "" {
+		if strings.HasSuffix(strings.TrimSuffix(path, ".gz"), ".v2") {
+			format = "v2"
+		} else {
+			format = "v1"
+		}
+	}
+	var data []byte
+	var err error
+	switch format {
+	case "v2":
+		data, err = EncodeV2(db, V2Options{Postings: true, Fragments: true})
+	case "v1":
+		data, err = Encode(db)
+	default:
+		return fmt.Errorf("store: unknown format %q (want v1 or v2)", format)
+	}
 	if err != nil {
 		return err
 	}
@@ -256,8 +284,29 @@ func Save(db *core.Database, path string) error {
 }
 
 // Load reads a database from a file, transparently decompressing ".gz"
-// paths.
+// paths and sniffing the serialization format (FormatVersion 2 binary
+// or FormatVersion 1 JSON) from the content.
 func Load(path string) (*core.Database, error) {
+	data, err := readMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeAny(data)
+}
+
+// Open opens a FormatVersion 2 file for zero-decode access: the
+// returned StoreV2 answers Database/IndexParts/Fragments straight from
+// the (validated) file bytes. ".gz" paths are decompressed first, which
+// forfeits the zero-copy property but keeps the format readable.
+func Open(path string) (*StoreV2, error) {
+	data, err := readMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenV2(data)
+}
+
+func readMaybeGzip(path string) ([]byte, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -275,7 +324,7 @@ func Load(path string) (*core.Database, error) {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	return Decode(data)
+	return data, nil
 }
 
 // EncodeStructured serializes errata in the paper's proposed

@@ -1,0 +1,105 @@
+#!/bin/sh
+# Runs the store-format benchmarks — cold open v1 vs v2 and the serve
+# point-lookup hot path — and emits BENCH_store.json. Two acceptance
+# gates are enforced:
+#
+#   * cold open: FormatVersion 2 must open at least MIN_SPEEDUP (10x)
+#     faster than the FormatVersion 1 JSON decode+index+fragments path
+#   * allocations: the stitched /v1/errata/{key} path must stay at or
+#     under MAX_ALLOCS (2) allocs/op
+#
+# Usage:
+#
+#   scripts/bench_store.sh              # 1 run per benchmark
+#   COUNT=5 scripts/bench_store.sh     # benchstat-grade sample count
+#   MIN_SPEEDUP=5 MAX_ALLOCS=4 ...     # relax the gates (debugging)
+#
+# The raw `go test` output is echoed to stderr so it can be piped into
+# benchstat directly.
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-1}"
+OUT="${OUT:-BENCH_store.json}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-10}"
+MAX_ALLOCS="${MAX_ALLOCS:-2}"
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+{
+	go test -run '^$' -bench '^BenchmarkColdOpenV1$|^BenchmarkColdOpenV2$|^BenchmarkEncodeV1$|^BenchmarkEncodeV2$' \
+		-benchmem -count "$COUNT" ./internal/store/
+	go test -run '^$' -bench '^BenchmarkServeErratumByKey$|^BenchmarkServeErrataPage$' \
+		-benchmem -count "$COUNT" ./internal/serve/
+} | tee /dev/stderr >"$RAW"
+
+# parse() reduces the raw output: fastest ns/op per benchmark across
+# -count runs, worst-case allocs/op, in first-seen order.
+parse() {
+	awk '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+		iters = $2
+		ns = $3
+		bytes = ""
+		allocs = ""
+		for (i = 4; i <= NF; i++) {
+			if ($(i) == "B/op") bytes = $(i - 1)
+			if ($(i) == "allocs/op") allocs = $(i - 1)
+		}
+		if (!(name in best_ns) || ns + 0 < best_ns[name] + 0) {
+			best_ns[name] = ns
+			best_iters[name] = iters
+			best_bytes[name] = bytes
+		}
+		if (allocs != "" && (!(name in worst_allocs) || allocs + 0 > worst_allocs[name] + 0))
+			worst_allocs[name] = allocs
+		if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+	}
+	'"$1"'
+	' "$RAW"
+}
+
+parse '
+	END {
+		for (i = 0; i < n; i++) {
+			name = order[i]
+			if (i) printf ",\n"
+			printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, best_iters[name], best_ns[name]
+			if (best_bytes[name] != "") printf ", \"bytes_per_op\": %s", best_bytes[name]
+			if (name in worst_allocs) printf ", \"allocs_per_op\": %s", worst_allocs[name]
+			printf "}"
+		}
+		print ""
+	}' |
+	{
+		printf '{\n  "suite": "store-format",\n  "count": %s,\n  "benchmarks": [\n' "$COUNT"
+		cat
+		printf '  ]\n}\n'
+	} >"$OUT"
+
+parse '
+	END {
+		v1 = best_ns["BenchmarkColdOpenV1"] + 0
+		v2 = best_ns["BenchmarkColdOpenV2"] + 0
+		stitched = worst_allocs["BenchmarkServeErratumByKey/stitched"] + 0
+		if (v1 <= 0 || v2 <= 0) {
+			print "FAIL: cold-open benchmarks missing from output"
+			exit 1
+		}
+		speedup = v1 / v2
+		printf "cold open: v1 %.1f ms, v2 %.1f ms -> %.1fx\n", v1 / 1e6, v2 / 1e6, speedup
+		if (speedup < '"$MIN_SPEEDUP"') {
+			printf "FAIL: cold-open speedup %.1fx below the '"$MIN_SPEEDUP"'x gate\n", speedup
+			exit 1
+		}
+		printf "stitched point lookup: %d allocs/op\n", stitched
+		if (stitched > '"$MAX_ALLOCS"') {
+			printf "FAIL: stitched lookup %d allocs/op above the '"$MAX_ALLOCS"' gate\n", stitched
+			exit 1
+		}
+	}' >&2
+
+echo "wrote $OUT" >&2

@@ -63,6 +63,8 @@ for want in \
     'rememberr_http_requests_total{endpoint="errata"}' \
     '# TYPE rememberr_http_request_duration_seconds histogram' \
     'rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="+Inf"}' \
+    'rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="0.001"}' \
+    'rememberr_http_request_duration_seconds_bucket{endpoint="errata",le="0.0001"}' \
     'rememberr_cache_hits_total' \
     'rememberr_cache_misses_total' \
     'rememberr_cache_entries' \

@@ -24,9 +24,13 @@ import (
 // runner adds content-addressed memoization when Build runs with
 // WithCache.
 //
-// Artifact encoding reuses internal/store's deterministic database
-// encoding, embedded as a json.RawMessage inside a small per-stage
-// container. Database payloads stay as undecoded bytes (pipeDB) until a
+// Artifact encoding reuses internal/store's deterministic FormatVersion
+// 2 database encoding (no postings/fragments — mid-pipeline databases
+// are still being mutated), embedded as a base64 []byte inside a small
+// per-stage container. Decoding sniffs the format, so the code would
+// still read a v1-JSON payload; in practice the stage Version bumps
+// that came with the v2 switch retired all v1 cache entries.
+// Database payloads stay as undecoded bytes (pipeDB) until a
 // live downstream stage — or the final report assembly — actually needs
 // the value, so a fully warm rebuild decodes exactly two databases (the
 // ground truth and the final output) and nothing else.
@@ -48,7 +52,7 @@ type pipeDB struct {
 
 func (p *pipeDB) database() (*core.Database, error) {
 	if p.db == nil {
-		db, err := store.Decode(p.raw)
+		db, err := store.DecodeAny(p.raw)
 		if err != nil {
 			return nil, fmt.Errorf("rememberr: decode cached database artifact: %w", err)
 		}
@@ -59,7 +63,7 @@ func (p *pipeDB) database() (*core.Database, error) {
 
 func (p *pipeDB) encoded() ([]byte, error) {
 	if p.raw == nil {
-		raw, err := store.Encode(p.db)
+		raw, err := store.EncodeV2(p.db, store.V2Options{})
 		if err != nil {
 			return nil, fmt.Errorf("rememberr: encode database artifact: %w", err)
 		}
@@ -70,7 +74,7 @@ func (p *pipeDB) encoded() ([]byte, error) {
 
 // gtArtifact is the cached form of the generator's ground truth.
 type gtArtifact struct {
-	DB             json.RawMessage            `json:"db"`
+	DB             []byte                     `json:"db"`
 	Lineages       map[string]*corpus.Lineage `json:"lineages"`
 	ConfirmedPairs [][2]string                `json:"confirmed_pairs"`
 	Inventory      corpus.ErrorInventory      `json:"inventory"`
@@ -78,7 +82,7 @@ type gtArtifact struct {
 }
 
 func encodeGroundTruth(gt *corpus.GroundTruth) ([]byte, error) {
-	raw, err := store.Encode(gt.DB)
+	raw, err := store.EncodeV2(gt.DB, store.V2Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +100,7 @@ func decodeGroundTruth(b []byte) (any, error) {
 	if err := json.Unmarshal(b, &a); err != nil {
 		return nil, err
 	}
-	db, err := store.Decode(a.DB)
+	db, err := store.DecodeAny(a.DB)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +120,7 @@ type parseValue struct {
 }
 
 type parseArtifact struct {
-	DB          json.RawMessage      `json:"db"`
+	DB          []byte               `json:"db"`
 	Diagnostics []specdoc.Diagnostic `json:"diagnostics"`
 }
 
@@ -194,8 +198,8 @@ type dedupValue struct {
 }
 
 type dedupArtifact struct {
-	DB     json.RawMessage `json:"db"`
-	Result dedupSummary    `json:"result"`
+	DB     []byte       `json:"db"`
+	Result dedupSummary `json:"result"`
 }
 
 // annotateValue carries the annotated database plus the four-eyes
@@ -206,7 +210,7 @@ type annotateValue struct {
 }
 
 type annotateArtifact struct {
-	DB     json.RawMessage  `json:"db"`
+	DB     []byte           `json:"db"`
 	Result *annotate.Result `json:"result"`
 }
 
@@ -219,8 +223,8 @@ type timelineValue struct {
 }
 
 type timelineArtifact struct {
-	DB    json.RawMessage `json:"db"`
-	Stats timeline.Stats  `json:"stats"`
+	DB    []byte         `json:"db"`
+	Stats timeline.Stats `json:"stats"`
 }
 
 func encodeTimelineValue(v any) ([]byte, error) {
@@ -250,7 +254,7 @@ func buildStages(opts BuildOptions) []*pipeline.Stage {
 	reg := opts.Observability
 	return []*pipeline.Stage{
 		{
-			ID: "corpus", Version: "v1",
+			ID: "corpus", Version: "v2",
 			Config: pipeline.Fingerprint("seed=" + strconv.FormatInt(opts.Seed, 10)),
 			Run: func(c *pipeline.Ctx) (any, error) {
 				gt, err := corpus.Generate(opts.Seed)
@@ -293,7 +297,7 @@ func buildStages(opts BuildOptions) []*pipeline.Stage {
 			},
 		},
 		{
-			ID: "parse", Version: "v1", Inputs: []string{"render"},
+			ID: "parse", Version: "v2", Inputs: []string{"render"},
 			Run: func(c *pipeline.Ctx) (any, error) {
 				v, err := c.Input(0)
 				if err != nil {
@@ -324,7 +328,7 @@ func buildStages(opts BuildOptions) []*pipeline.Stage {
 			},
 		},
 		{
-			ID: "dedup", Version: "v1", Inputs: []string{"parse", "corpus"},
+			ID: "dedup", Version: "v2", Inputs: []string{"parse", "corpus"},
 			Config: pipeline.Fingerprint(
 				"metric="+string(opts.SimilarityMetric),
 				"threshold="+strconv.FormatFloat(opts.SimilarityThreshold, 'g', -1, 64),
@@ -386,7 +390,7 @@ func buildStages(opts BuildOptions) []*pipeline.Stage {
 			},
 		},
 		{
-			ID: "annotate", Version: "v1", Inputs: []string{"dedup", "corpus"},
+			ID: "annotate", Version: "v2", Inputs: []string{"dedup", "corpus"},
 			Config: pipeline.Fingerprint(
 				"seed="+strconv.FormatInt(opts.Seed, 10),
 				"steps="+strconv.Itoa(opts.AnnotationSteps),
@@ -446,7 +450,7 @@ func buildStages(opts BuildOptions) []*pipeline.Stage {
 			},
 		},
 		{
-			ID: "timeline", Version: "v1", Inputs: []string{"annotate"},
+			ID: "timeline", Version: "v2", Inputs: []string{"annotate"},
 			Config: pipeline.Fingerprint("interpolate=" + strconv.FormatBool(opts.Interpolate)),
 			Run: func(c *pipeline.Ctx) (any, error) {
 				v, err := c.Input(0)
@@ -464,7 +468,7 @@ func buildStages(opts BuildOptions) []*pipeline.Stage {
 			Decode: decodeTimelineValue,
 		},
 		{
-			ID: "validate", Version: "v1", Inputs: []string{"timeline"},
+			ID: "validate", Version: "v2", Inputs: []string{"timeline"},
 			Run: func(c *pipeline.Ctx) (any, error) {
 				v, err := c.Input(0)
 				if err != nil {
