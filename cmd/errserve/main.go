@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	errserve [-db FILE | -seed N] [-addr :8372] [-cache N] [-cache-dir D] [-timeout D] [-shards N] [-spool D] [-pprof]
+//	errserve [-db FILE | -seed N] [-addr :8372] [-cache N] [-cache-dir D] [-timeout D] [-shards N] [-spool D] [-mmap=false] [-pprof]
 //
 // The database is either loaded from a previously saved store file
 // (".gz" supported, see 'rememberr build') or built from the synthetic
@@ -12,7 +12,12 @@
 // database directly, index postings load from the file's arrays, and
 // per-erratum response fragments come from the fragment region, so
 // startup skips the JSON parse, the index build and all hot-path
-// marshaling. With -cache-dir the build goes through
+// marshaling. By default the v2 file is memory-mapped rather than read
+// into the heap (-mmap=false opts out): record and fragment bytes stay
+// disk-resident and page in on demand, so a corpus larger than RAM
+// serves fine, and reloads swap mappings with zero downtime — the old
+// mapping unmaps only after the last in-flight request on it finishes.
+// With -cache-dir the build goes through
 // the content-addressed pipeline cache, so restarts and reloads replay
 // unchanged stages instead of recomputing them. With -shards N the
 // errata space is partitioned by deduplicated-key hash into N shards
@@ -64,7 +69,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"os/signal"
 	"sync"
@@ -91,31 +95,24 @@ func main() {
 	shards := fs.Int("shards", 0, "scatter-gather shard count (0 = single index)")
 	spool := fs.String("spool", "", "spool directory to watch for arriving documents")
 	spoolInterval := fs.Duration("spool-interval", time.Second, "spool poll period")
+	useMmap := fs.Bool("mmap", true, "serve FormatVersion 2 store files from a memory mapping (larger-than-RAM corpora)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof on /debug/pprof/")
 	fs.Parse(os.Args[1:])
 
-	if err := run(*addr, *dbFile, *seed, *par, *cacheSize, *shards, *cacheDir, *spool, *spoolInterval, *timeout, *enablePprof); err != nil {
+	if err := run(*addr, *dbFile, *seed, *par, *cacheSize, *shards, *cacheDir, *spool, *spoolInterval, *timeout, *useMmap, *enablePprof); err != nil {
 		fmt.Fprintln(os.Stderr, "errserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir, spool string, spoolInterval, timeout time.Duration, enablePprof bool) error {
+func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir, spool string, spoolInterval, timeout time.Duration, useMmap, enablePprof bool) error {
 	reg := rememberr.NewRegistry()
 
-	// source produces a fresh *core.Database: from the saved file when
-	// -db is given, otherwise by building from the corpus seed. The
-	// same function backs the initial load, POST /v1/admin/reload and
-	// SIGHUP, so a reload picks up an updated -db file, and a rebuild
-	// with -cache-dir replays every unchanged pipeline stage.
-	source := func(context.Context) (*core.Database, error) {
-		if dbFile != "" {
-			db, err := rememberr.Load(dbFile)
-			if err != nil {
-				return nil, err
-			}
-			return db.Core(), nil
-		}
+	// build produces a fresh *core.Database from the corpus seed; it
+	// backs the initial load, POST /v1/admin/reload and SIGHUP when no
+	// -db file is given, and a rebuild with -cache-dir replays every
+	// unchanged pipeline stage.
+	build := func(context.Context) (*core.Database, error) {
 		opts := []rememberr.Option{
 			rememberr.WithSeed(seed),
 			rememberr.WithParallelism(par),
@@ -131,25 +128,36 @@ func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir, 
 		return db.Core(), nil
 	}
 
-	// A -db file in FormatVersion 2 takes the zero-decode fast path:
-	// the validated file buffer backs the database (strings are views
-	// into it), the index postings load from the file's arrays, and
-	// response fragments come from the fragment region — no JSON parse,
-	// no index build, no per-entry marshaling. Everything else (v1
-	// JSON, ".gz", seeded builds) goes through source as before.
-	var sv *store.StoreV2
+	// openStore opens -db through the unified store entry point, which
+	// sniffs the format itself: FormatVersion 2 files take the
+	// zero-decode fast path (the validated file bytes back the
+	// database, index postings load from the file's arrays, response
+	// fragments come from the fragment region) and are memory-mapped
+	// unless -mmap=false; v1 JSON and ".gz" files decode from the heap.
+	openStore := func() (store.Reader, error) {
+		var opts []store.OpenOption
+		if !useMmap {
+			opts = append(opts, store.WithMmap(false))
+		}
+		return store.Open(dbFile, opts...)
+	}
+
+	var rd store.Reader
 	var db *core.Database
-	if dbFile != "" && fileIsV2(dbFile) {
+	if dbFile != "" {
 		var err error
-		if sv, err = store.Open(dbFile); err != nil {
+		if rd, err = openStore(); err != nil {
 			return err
 		}
-		if db, err = sv.Database(); err != nil {
+		// The ingester needs the materialized corpus; StoreV2 memoizes
+		// it, so the server's snapshot shares these exact pointers.
+		if db, err = rd.Database(); err != nil {
+			rd.Close()
 			return err
 		}
 	} else {
 		var err error
-		if db, err = source(context.Background()); err != nil {
+		if db, err = build(context.Background()); err != nil {
 			return err
 		}
 	}
@@ -195,40 +203,71 @@ func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir, 
 
 	// A reload resets the ingest state to the freshly produced database:
 	// the rebuilt source is authoritative, and documents ingested into
-	// the previous corpus but absent from it are dropped.
-	reload := func(ctx context.Context) (*core.Database, error) {
-		db, err := source(ctx)
-		if err != nil {
-			return nil, err
-		}
-		ingestMu.Lock()
-		ing = newIngester(db)
-		ingestMu.Unlock()
-		return db, nil
-	}
-
+	// the previous corpus but absent from it are dropped. With -db the
+	// reload reopens the file (picking up a replaced store) and hands
+	// the reader to the server, which closes it after installing the
+	// snapshot — mmap regions stay alive exactly as long as snapshots
+	// reference them.
 	sopts := serve.Options{
 		CacheSize:       cacheSize,
 		RequestTimeout:  timeout,
 		Shards:          shards,
 		Observability:   reg,
 		EnableProfiling: enablePprof,
-		Reloader:        reload,
 		Ingest:          doIngest,
 	}
-	if sv != nil {
-		var err error
-		if srv, err = serve.NewFromStore(sv, sopts); err != nil {
-			return err
+	if dbFile != "" {
+		sopts.ReloadSource = func(context.Context) (store.Reader, error) {
+			r, err := openStore()
+			if err != nil {
+				return nil, err
+			}
+			db, err := r.Database()
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			ingestMu.Lock()
+			ing = newIngester(db)
+			ingestMu.Unlock()
+			return r, nil
 		}
 	} else {
-		srv = serve.New(db, sopts)
+		sopts.Reloader = func(ctx context.Context) (*core.Database, error) {
+			db, err := build(ctx)
+			if err != nil {
+				return nil, err
+			}
+			ingestMu.Lock()
+			ing = newIngester(db)
+			ingestMu.Unlock()
+			return db, nil
+		}
 	}
-	st := db.ComputeStats()
+	var err error
+	if rd != nil {
+		srv, err = serve.New(serve.WithStore(rd), sopts)
+	} else {
+		srv, err = serve.New(serve.WithDatabase(db), sopts)
+	}
+	if err != nil {
+		return err
+	}
 	format := ""
-	if sv != nil {
+	if rd != nil && rd.Format() == store.FormatVersion2 {
 		format = " from FormatVersion 2 store"
+		if rd.Mapped() {
+			format = " from mmapped FormatVersion 2 store"
+		}
 	}
+	if rd != nil {
+		// The snapshot holds its own region reference now; dropping the
+		// opener's ties the mapping's lifetime to the snapshots using it.
+		if err := rd.Close(); err != nil {
+			return err
+		}
+	}
+	st := srv.Stats()
 	if shards > 0 {
 		fmt.Printf("serving %d errata (%d unique) on %s across %d shards%s\n", st.Total, st.Unique, addr, shards, format)
 	} else {
@@ -279,21 +318,4 @@ func run(addr, dbFile string, seed int64, par, cacheSize, shards int, cacheDir, 
 	}()
 
 	return srv.Serve(ctx, addr)
-}
-
-// fileIsV2 peeks at the file's first bytes for the FormatVersion 2
-// magic, so the fast path never reads a v1 file twice. Gzipped v2
-// files fall through to the generic loader, which sniffs after
-// decompression.
-func fileIsV2(path string) bool {
-	f, err := os.Open(path)
-	if err != nil {
-		return false
-	}
-	defer f.Close()
-	head := make([]byte, 8)
-	if _, err := io.ReadFull(f, head); err != nil {
-		return false
-	}
-	return store.IsV2(head)
 }

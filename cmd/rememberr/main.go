@@ -464,7 +464,17 @@ func cmdConvert(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("convert: -in is required")
 	}
-	db, err := store.Load(*in)
+	// Open the source mmap-backed where possible: the conversion then
+	// holds one materialized database plus the encoder's section buffers,
+	// never a second full copy of the input — and SaveFormat streams the
+	// output through a temp file, so the encoded bytes are not buffered
+	// alongside the database either.
+	r, err := store.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	db, err := r.Database()
 	if err != nil {
 		return err
 	}

@@ -72,7 +72,11 @@ func (db *Database) Save(path string) error {
 // have no build report; experiments that need one (Figures 8 and 9,
 // the decision-reduction study) report that in their checks.
 func Load(path string) (*Database, error) {
-	c, err := store.Load(path)
+	r, err := store.Open(path, store.WithMmap(false))
+	if err != nil {
+		return nil, err
+	}
+	c, err := r.Database()
 	if err != nil {
 		return nil, err
 	}

@@ -36,7 +36,10 @@ func TestSaveLoadServeRoundTrip(t *testing.T) {
 		t.Error("loaded database has an index before BuildIndex")
 	}
 
-	s := serve.New(loaded.Core(), serve.Options{})
+	s, err := serve.New(serve.WithDatabase(loaded.Core()), serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

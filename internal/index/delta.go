@@ -60,6 +60,10 @@ func MergeDelta(prev *Index, db *core.Database) *Index {
 		}
 	}
 
+	// Positional trigger counts are written through this heap slice by
+	// both the remap below and the scratch index's addEntry walk; prev's
+	// counts are read through List so a span-backed previous index works.
+	trig := make(Ords, len(errata))
 	ix := &Index{
 		db:           db,
 		scheme:       db.Scheme,
@@ -69,17 +73,17 @@ func MergeDelta(prev *Index, db *core.Database) *Index {
 		byCategory:   remapPostings(prev.byCategory, remap),
 		byTriggerCat: remapPostings(prev.byTriggerCat, remap),
 		byClass:      remapPostings(prev.byClass, remap),
-		byKey:        make(map[string][]int),
+		byKey:        make(map[string]List),
 		byWorkaround: remapPostings(prev.byWorkaround, remap),
 		byFix:        remapPostings(prev.byFix, remap),
 		byMSR:        remapPostings(prev.byMSR, remap),
 		complexSet:   remapList(prev.complexSet, remap),
 		simOnlySet:   remapList(prev.simOnlySet, remap),
-		triggerCount: make([]int, len(errata)),
+		triggerCount: trig,
 	}
 	for old, n := range remap {
 		if n >= 0 {
-			ix.triggerCount[n] = prev.triggerCount[old]
+			trig[n] = prev.triggerCount.At(old)
 		}
 	}
 
@@ -93,19 +97,19 @@ func MergeDelta(prev *Index, db *core.Database) *Index {
 	}
 	add := &Index{
 		scheme:       db.Scheme,
-		byVendor:     make(map[core.Vendor][]int),
-		byDoc:        make(map[string][]int),
-		byCategory:   make(map[string][]int),
-		byTriggerCat: make(map[string][]int),
-		byClass:      make(map[string][]int),
-		byWorkaround: make(map[core.WorkaroundCategory][]int),
-		byFix:        make(map[core.FixStatus][]int),
-		byMSR:        make(map[string][]int),
-		triggerCount: ix.triggerCount, // written positionally, no union needed
+		byVendor:     make(map[core.Vendor]List),
+		byDoc:        make(map[string]List),
+		byCategory:   make(map[string]List),
+		byTriggerCat: make(map[string]List),
+		byClass:      make(map[string]List),
+		byWorkaround: make(map[core.WorkaroundCategory]List),
+		byFix:        make(map[core.FixStatus]List),
+		byMSR:        make(map[string]List),
+		triggerCount: trig, // written positionally, no union needed
 	}
 	for ord, e := range errata {
 		if e.Key != "" { // keys can relabel across snapshots: rebuilt, never remapped
-			ix.byKey[e.Key] = append(ix.byKey[e.Key], ord)
+			pushOrd(ix.byKey, e.Key, ord)
 		}
 		if surviving[e] {
 			continue
@@ -120,12 +124,12 @@ func MergeDelta(prev *Index, db *core.Database) *Index {
 	unionPostings(ix.byWorkaround, add.byWorkaround)
 	unionPostings(ix.byFix, add.byFix)
 	unionPostings(ix.byMSR, add.byMSR)
-	ix.complexSet = union(ix.complexSet, add.complexSet)
-	ix.simOnlySet = union(ix.simOnlySet, add.simOnlySet)
+	ix.complexSet = Ords(union(toInts(ix.complexSet), toInts(add.complexSet)))
+	ix.simOnlySet = Ords(union(toInts(ix.simOnlySet), toInts(add.simOnlySet)))
 
 	for _, e := range db.Unique() {
 		if ord, ok := newOrd[e]; ok {
-			ix.uniqueOrds = append(ix.uniqueOrds, ord)
+			ix.uniqueOrds = apOrd(ix.uniqueOrds, ord)
 		}
 	}
 	return ix
@@ -137,19 +141,19 @@ func MergeDelta(prev *Index, db *core.Database) *Index {
 // stays sorted.
 func (ix *Index) addEntry(ord int, e *core.Erratum, vendorOf map[string]core.Vendor) {
 	if v, ok := vendorOf[e.DocKey]; ok {
-		ix.byVendor[v] = append(ix.byVendor[v], ord)
+		pushOrd(ix.byVendor, v, ord)
 	}
-	ix.byDoc[e.DocKey] = append(ix.byDoc[e.DocKey], ord)
-	ix.byWorkaround[e.WorkaroundCat] = append(ix.byWorkaround[e.WorkaroundCat], ord)
-	ix.byFix[e.Fix] = append(ix.byFix[e.Fix], ord)
+	pushOrd(ix.byDoc, e.DocKey, ord)
+	pushOrd(ix.byWorkaround, e.WorkaroundCat, ord)
+	pushOrd(ix.byFix, e.Fix, ord)
 	for _, m := range e.Ann.MSRs {
 		appendOnce(ix.byMSR, m, ord)
 	}
 	if e.Ann.ComplexConditions {
-		ix.complexSet = append(ix.complexSet, ord)
+		ix.complexSet = apOrd(ix.complexSet, ord)
 	}
 	if e.Ann.SimulationOnly {
-		ix.simOnlySet = append(ix.simOnlySet, ord)
+		ix.simOnlySet = apOrd(ix.simOnlySet, ord)
 	}
 	classes := make(map[string]bool)
 	for _, k := range taxonomy.Kinds {
@@ -160,18 +164,19 @@ func (ix *Index) addEntry(ord int, e *core.Erratum, vendorOf map[string]core.Ven
 			}
 			if cl := ix.scheme.ClassOf(it.Category); cl != "" && !classes[cl] {
 				classes[cl] = true
-				ix.byClass[cl] = append(ix.byClass[cl], ord)
+				pushOrd(ix.byClass, cl, ord)
 			}
 		}
 	}
-	ix.triggerCount[ord] = len(e.Ann.Categories(taxonomy.Trigger, ix.scheme))
+	ix.triggerCount.(Ords)[ord] = len(e.Ann.Categories(taxonomy.Trigger, ix.scheme))
 }
 
 // remapPostings rewrites every list of a postings map through remap,
 // dropping removed ordinals and empty lists (Build never stores empty
-// lists, and equality with Build is the whole point).
-func remapPostings[K comparable](m map[K][]int, remap []int) map[K][]int {
-	out := make(map[K][]int, len(m))
+// lists, and equality with Build is the whole point). The input lists
+// may be spans over a mapped file; the output is always heap-resident.
+func remapPostings[K comparable](m map[K]List, remap []int) map[K]List {
+	out := make(map[K]List, len(m))
 	for k, l := range m {
 		if r := remapList(l, remap); len(r) > 0 {
 			out[k] = r
@@ -180,20 +185,22 @@ func remapPostings[K comparable](m map[K][]int, remap []int) map[K][]int {
 	return out
 }
 
-func remapList(l []int, remap []int) []int {
-	var out []int
-	for _, old := range l {
-		if n := remap[old]; n >= 0 {
-			out = append(out, n)
+func remapList(l List, remap []int) Ords {
+	var out Ords
+	for i, n := 0, listLen(l); i < n; i++ {
+		if v := remap[l.At(i)]; v >= 0 {
+			out = append(out, v)
 		}
 	}
 	return out
 }
 
-// unionPostings merges the sorted add lists into dst in place.
-func unionPostings[K comparable](dst, add map[K][]int) {
+// unionPostings merges the sorted add lists into dst in place. Both
+// sides are heap-resident here (remapPostings materializes), so the
+// Ords round-trips are alias-only.
+func unionPostings[K comparable](dst, add map[K]List) {
 	for k, l := range add {
-		dst[k] = union(dst[k], l)
+		dst[k] = Ords(union(toInts(dst[k]), toInts(l)))
 	}
 }
 
@@ -207,9 +214,9 @@ func (ix *Index) DebugDump() []byte {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "entries %d\n", len(ix.errata))
 	for ord, e := range ix.errata {
-		fmt.Fprintf(&b, "e %d %s key=%q trig=%d\n", ord, e.FullID(), e.Key, ix.triggerCount[ord])
+		fmt.Fprintf(&b, "e %d %s key=%q trig=%d\n", ord, e.FullID(), e.Key, ix.triggerCount.At(ord))
 	}
-	fmt.Fprintf(&b, "unique %v\n", ix.uniqueOrds)
+	fmt.Fprintf(&b, "unique %v\n", toInts(ix.uniqueOrds))
 	dumpPostings(&b, "vendor", ix.byVendor)
 	dumpPostings(&b, "doc", ix.byDoc)
 	dumpPostings(&b, "category", ix.byCategory)
@@ -219,18 +226,18 @@ func (ix *Index) DebugDump() []byte {
 	dumpPostings(&b, "workaround", ix.byWorkaround)
 	dumpPostings(&b, "fix", ix.byFix)
 	dumpPostings(&b, "msr", ix.byMSR)
-	fmt.Fprintf(&b, "complex %v\n", ix.complexSet)
-	fmt.Fprintf(&b, "simonly %v\n", ix.simOnlySet)
+	fmt.Fprintf(&b, "complex %v\n", toInts(ix.complexSet))
+	fmt.Fprintf(&b, "simonly %v\n", toInts(ix.simOnlySet))
 	return b.Bytes()
 }
 
-func dumpPostings[K comparable](b *bytes.Buffer, family string, m map[K][]int) {
+func dumpPostings[K comparable](b *bytes.Buffer, family string, m map[K]List) {
 	keys := make([]string, 0, len(m))
 	byLabel := make(map[string][]int, len(m))
 	for k, l := range m {
 		label := fmt.Sprint(k)
 		keys = append(keys, label)
-		byLabel[label] = l
+		byLabel[label] = toInts(l) // %v of a materialized slice: span- and heap-backed dump identically
 	}
 	sort.Strings(keys)
 	for _, k := range keys {

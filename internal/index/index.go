@@ -37,23 +37,27 @@ type Index struct {
 	errata []*core.Erratum
 	// uniqueOrds lists the ordinals of the unique representatives, in
 	// db.Unique() order (DocKey, then Seq).
-	uniqueOrds []int
+	uniqueOrds List
 
-	byVendor     map[core.Vendor][]int
-	byDoc        map[string][]int
-	byCategory   map[string][]int // any annotation dimension
-	byTriggerCat map[string][]int // trigger dimension only
-	byClass      map[string][]int
-	byKey        map[string][]int // cluster key -> all occurrences
-	byWorkaround map[core.WorkaroundCategory][]int
-	byFix        map[core.FixStatus][]int
-	byMSR        map[string][]int
-	complexSet   []int
-	simOnlySet   []int
+	// Postings lists are held behind the List interface: Build and
+	// MergeDelta produce heap-resident Ords, while FromLists installs
+	// Spans viewed straight over a FormatVersion 2 file mapping, so a
+	// disk-resident index never copies its postings into the heap.
+	byVendor     map[core.Vendor]List
+	byDoc        map[string]List
+	byCategory   map[string]List // any annotation dimension
+	byTriggerCat map[string]List // trigger dimension only
+	byClass      map[string]List
+	byKey        map[string]List // cluster key -> all occurrences
+	byWorkaround map[core.WorkaroundCategory]List
+	byFix        map[core.FixStatus]List
+	byMSR        map[string]List
+	complexSet   List
+	simOnlySet   List
 
 	// triggerCount holds, per ordinal, the number of distinct trigger
 	// categories (the quantity MinTriggers filters on).
-	triggerCount []int
+	triggerCount List
 
 	// Instruments (nil until Instrument is called; obs instruments are
 	// no-ops on nil receivers, so uninstrumented queries pay one branch).
@@ -81,16 +85,16 @@ func Build(db *core.Database) *Index {
 		db:           db,
 		scheme:       db.Scheme,
 		errata:       errata,
-		byVendor:     make(map[core.Vendor][]int),
-		byDoc:        make(map[string][]int),
-		byCategory:   make(map[string][]int),
-		byTriggerCat: make(map[string][]int),
-		byClass:      make(map[string][]int),
-		byKey:        make(map[string][]int),
-		byWorkaround: make(map[core.WorkaroundCategory][]int),
-		byFix:        make(map[core.FixStatus][]int),
-		byMSR:        make(map[string][]int),
-		triggerCount: make([]int, len(errata)),
+		byVendor:     make(map[core.Vendor]List),
+		byDoc:        make(map[string]List),
+		byCategory:   make(map[string]List),
+		byTriggerCat: make(map[string]List),
+		byClass:      make(map[string]List),
+		byKey:        make(map[string]List),
+		byWorkaround: make(map[core.WorkaroundCategory]List),
+		byFix:        make(map[core.FixStatus]List),
+		byMSR:        make(map[string]List),
+		triggerCount: make(Ords, len(errata)),
 	}
 	vendorOf := make(map[string]core.Vendor, len(db.Docs))
 	for key, d := range db.Docs {
@@ -100,7 +104,7 @@ func Build(db *core.Database) *Index {
 		// Postings are appended in ascending ordinal order, so every
 		// list is sorted by construction.
 		if e.Key != "" {
-			ix.byKey[e.Key] = append(ix.byKey[e.Key], ord)
+			pushOrd(ix.byKey, e.Key, ord)
 		}
 		ix.addEntry(ord, e, vendorOf)
 	}
@@ -110,7 +114,7 @@ func Build(db *core.Database) *Index {
 	}
 	for _, e := range db.Unique() {
 		if ord, ok := ordOf[e]; ok {
-			ix.uniqueOrds = append(ix.uniqueOrds, ord)
+			ix.uniqueOrds = apOrd(ix.uniqueOrds, ord)
 		}
 	}
 	return ix
@@ -118,12 +122,12 @@ func Build(db *core.Database) *Index {
 
 // appendOnce appends ord to m[key] unless it is already the last
 // element (the same erratum can carry a category or MSR several times).
-func appendOnce(m map[string][]int, key string, ord int) {
-	l := m[key]
+func appendOnce(m map[string]List, key string, ord int) {
+	l, _ := m[key].(Ords)
 	if n := len(l); n > 0 && l[n-1] == ord {
 		return
 	}
-	m[key] = append(m[key], ord)
+	m[key] = append(l, ord)
 }
 
 // Database returns the indexed database snapshot.
@@ -134,15 +138,15 @@ func (ix *Index) Database() *core.Database { return ix.db }
 func (ix *Index) Size() int { return len(ix.errata) }
 
 // UniqueCount returns the number of unique representatives.
-func (ix *Index) UniqueCount() int { return len(ix.uniqueOrds) }
+func (ix *Index) UniqueCount() int { return listLen(ix.uniqueOrds) }
 
 // ByKey returns every entry bearing the given cluster key, in document
 // order.
 func (ix *Index) ByKey(key string) []*core.Erratum {
 	ords := ix.byKey[key]
-	out := make([]*core.Erratum, len(ords))
-	for i, ord := range ords {
-		out[i] = ix.errata[ord]
+	out := make([]*core.Erratum, listLen(ords))
+	for i := range out {
+		out[i] = ix.errata[ords.At(i)]
 	}
 	return out
 }
@@ -155,7 +159,7 @@ func (ix *Index) ByKey(key string) []*core.Erratum {
 // behind it is safe to share.
 type Query struct {
 	ix    *Index
-	lists [][]int
+	lists []List
 	preds []func(ord int) bool
 }
 
@@ -164,9 +168,9 @@ func (ix *Index) Query() *Query { return &Query{ix: ix} }
 
 // none is a shared empty postings list marking a filter that matches
 // nothing (e.g. an unknown category).
-var none = []int{}
+var none = Ords{}
 
-func (q *Query) list(l []int) *Query {
+func (q *Query) list(l List) *Query {
 	if l == nil {
 		l = none
 	}
@@ -198,9 +202,9 @@ func (q *Query) WithCategory(categoryID string) *Query {
 func (q *Query) AnyCategory(categoryIDs ...string) *Query {
 	var u []int
 	for _, c := range categoryIDs {
-		u = union(u, q.ix.byCategory[c])
+		u = union(u, toInts(q.ix.byCategory[c]))
 	}
-	return q.list(u)
+	return q.list(Ords(u))
 }
 
 // WithClass keeps errata with at least one item of the given class.
@@ -219,7 +223,7 @@ func (q *Query) WithAllTriggers(categoryIDs ...string) *Query {
 // MinTriggers keeps errata with at least n distinct trigger categories,
 // using the precomputed per-entry counts.
 func (q *Query) MinTriggers(n int) *Query {
-	return q.pred(func(ord int) bool { return q.ix.triggerCount[ord] >= n })
+	return q.pred(func(ord int) bool { return q.ix.triggerCount.At(ord) >= n })
 }
 
 // Workaround keeps errata with the given workaround category.
@@ -267,16 +271,16 @@ func (q *Query) matchOrdinals() []int {
 			cand[i] = i
 		}
 	} else {
-		lists := make([][]int, len(q.lists))
+		lists := make([]List, len(q.lists))
 		copy(lists, q.lists)
-		sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-		cand = lists[0]
+		sort.Slice(lists, func(i, j int) bool { return lists[i].Len() < lists[j].Len() })
+		cand = toInts(lists[0])
 		merged := int64(0)
 		for _, l := range lists[1:] {
 			if len(cand) == 0 {
 				break
 			}
-			cand = intersect(cand, l)
+			cand = intersectInto(cand, l)
 			merged++
 		}
 		q.ix.intersections.Add(merged)
@@ -324,8 +328,8 @@ func (q *Query) Unique() []*core.Erratum {
 		matched[ord] = true
 	}
 	var out []*core.Erratum
-	for _, ord := range q.ix.uniqueOrds {
-		if matched[ord] {
+	for i, n := 0, listLen(q.ix.uniqueOrds); i < n; i++ {
+		if ord := q.ix.uniqueOrds.At(i); matched[ord] {
 			out = append(out, q.ix.errata[ord])
 		}
 	}

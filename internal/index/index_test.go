@@ -101,7 +101,7 @@ func TestPostingsSortedAndComplete(t *testing.T) {
 	if ix.UniqueCount() != 3 {
 		t.Fatalf("UniqueCount = %d, want 3", ix.UniqueCount())
 	}
-	for name, m := range map[string]map[string][]int{
+	for name, m := range map[string]map[string]List{
 		"byDoc":        ix.byDoc,
 		"byCategory":   ix.byCategory,
 		"byTriggerCat": ix.byTriggerCat,
@@ -110,17 +110,17 @@ func TestPostingsSortedAndComplete(t *testing.T) {
 		"byMSR":        ix.byMSR,
 	} {
 		for key, l := range m {
-			for i := 1; i < len(l); i++ {
-				if l[i-1] >= l[i] {
-					t.Errorf("%s[%q] not strictly sorted: %v", name, key, l)
+			for i := 1; i < l.Len(); i++ {
+				if l.At(i-1) >= l.At(i) {
+					t.Errorf("%s[%q] not strictly sorted: %v", name, key, toInts(l))
 				}
 			}
 		}
 	}
-	if got := len(ix.byCategory["Trg_POW_pwc"]); got != 2 {
+	if got := listLen(ix.byCategory["Trg_POW_pwc"]); got != 2 {
 		t.Errorf("Trg_POW_pwc postings = %d, want 2", got)
 	}
-	if got := len(ix.byClass["Eff_HNG"]); got != 2 {
+	if got := listLen(ix.byClass["Eff_HNG"]); got != 2 {
 		t.Errorf("Eff_HNG class postings = %d, want 2", got)
 	}
 }

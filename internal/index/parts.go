@@ -32,25 +32,45 @@ type Parts struct {
 	TriggerCount []int
 }
 
-// Parts extracts the index's structural state. The returned maps and
-// slices alias the index's internals: the caller must treat them as
-// read-only, exactly like query results.
+// Parts extracts the index's structural state as flat slices. For a
+// heap-built index (Build, MergeDelta, FromParts) the slices and map
+// values alias the index's internals and the caller must treat them as
+// read-only, exactly like query results; for a span-backed index
+// (FromLists over a mapped store) each list is materialized into the
+// heap, since Parts is the persistence carrier and must outlive any
+// mapping.
 func (ix *Index) Parts() *Parts {
 	return &Parts{
-		UniqueOrds:   ix.uniqueOrds,
-		ByVendor:     ix.byVendor,
-		ByDoc:        ix.byDoc,
-		ByCategory:   ix.byCategory,
-		ByTriggerCat: ix.byTriggerCat,
-		ByClass:      ix.byClass,
-		ByKey:        ix.byKey,
-		ByWorkaround: ix.byWorkaround,
-		ByFix:        ix.byFix,
-		ByMSR:        ix.byMSR,
-		ComplexSet:   ix.complexSet,
-		SimOnlySet:   ix.simOnlySet,
-		TriggerCount: ix.triggerCount,
+		UniqueOrds:   toInts(ix.uniqueOrds),
+		ByVendor:     partsMap(ix.byVendor),
+		ByDoc:        partsMap(ix.byDoc),
+		ByCategory:   partsMap(ix.byCategory),
+		ByTriggerCat: partsMap(ix.byTriggerCat),
+		ByClass:      partsMap(ix.byClass),
+		ByKey:        partsMap(ix.byKey),
+		ByWorkaround: partsMap(ix.byWorkaround),
+		ByFix:        partsMap(ix.byFix),
+		ByMSR:        partsMap(ix.byMSR),
+		ComplexSet:   toInts(ix.complexSet),
+		SimOnlySet:   toInts(ix.simOnlySet),
+		TriggerCount: toInts(ix.triggerCount),
 	}
+}
+
+func partsMap[K comparable](m map[K]List) map[K][]int {
+	out := make(map[K][]int, len(m))
+	for k, l := range m {
+		out[k] = toInts(l)
+	}
+	return out
+}
+
+func listsMap[K comparable](m map[K][]int) map[K]List {
+	out := make(map[K]List, len(m))
+	for k, l := range m {
+		out[k] = Ords(l)
+	}
+	return out
 }
 
 // FromParts reconstructs an Index over db from previously extracted
@@ -75,28 +95,35 @@ func FromParts(db *core.Database, p *Parts) (*Index, error) {
 		db:           db,
 		scheme:       db.Scheme,
 		errata:       errata,
-		uniqueOrds:   p.UniqueOrds,
-		byVendor:     p.ByVendor,
-		byDoc:        p.ByDoc,
-		byCategory:   p.ByCategory,
-		byTriggerCat: p.ByTriggerCat,
-		byClass:      p.ByClass,
-		byKey:        p.ByKey,
-		byWorkaround: p.ByWorkaround,
-		byFix:        p.ByFix,
-		byMSR:        p.ByMSR,
-		complexSet:   p.ComplexSet,
-		simOnlySet:   p.SimOnlySet,
-		triggerCount: p.TriggerCount,
+		uniqueOrds:   Ords(p.UniqueOrds),
+		byVendor:     listsMap(p.ByVendor),
+		byDoc:        listsMap(p.ByDoc),
+		byCategory:   listsMap(p.ByCategory),
+		byTriggerCat: listsMap(p.ByTriggerCat),
+		byClass:      listsMap(p.ByClass),
+		byKey:        listsMap(p.ByKey),
+		byWorkaround: listsMap(p.ByWorkaround),
+		byFix:        listsMap(p.ByFix),
+		byMSR:        listsMap(p.ByMSR),
+		complexSet:   Ords(p.ComplexSet),
+		simOnlySet:   Ords(p.SimOnlySet),
+		triggerCount: Ords(p.TriggerCount),
 	}
 	return ix, nil
 }
 
-// KeyOrds returns the postings list of ordinals bearing the given
-// cluster key. The returned slice is shared with the index and must be
-// treated as read-only; unlike ByKey it performs no allocation, which
-// the serving layer's fragment-stitched point lookup relies on.
-func (ix *Index) KeyOrds(key string) []int { return ix.byKey[key] }
+// KeyList returns the postings list of ordinals bearing the given
+// cluster key, absent keys yielding a nil List. The list is shared with
+// the index and must be treated as read-only; unlike ByKey it performs
+// no allocation, which the serving layer's fragment-stitched point
+// lookup relies on.
+func (ix *Index) KeyList(key string) List { return ix.byKey[key] }
+
+// KeyOrds returns KeyList materialized as a heap slice.
+//
+/// Deprecated: use KeyList, which stays allocation-free for span-backed
+// indexes too.
+func (ix *Index) KeyOrds(key string) []int { return toInts(ix.byKey[key]) }
 
 // Entry returns the entry at the given ordinal. The ordinal must come
 // from this index's postings (KeyOrds or query results).

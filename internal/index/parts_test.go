@@ -71,9 +71,9 @@ func TestFromPartsRejects(t *testing.T) {
 	}
 }
 
-// TestKeyOrdsNoAlloc pins the zero-allocation contract of the hot-path
+// TestKeyListNoAlloc pins the zero-allocation contract of the hot-path
 // accessors the serving layer stitches responses with.
-func TestKeyOrdsNoAlloc(t *testing.T) {
+func TestKeyListNoAlloc(t *testing.T) {
 	gt, err := corpus.Generate(1)
 	if err != nil {
 		t.Fatal(err)
@@ -81,11 +81,11 @@ func TestKeyOrdsNoAlloc(t *testing.T) {
 	ix := Build(gt.DB)
 	key := gt.DB.Unique()[0].Key
 	if got := testing.AllocsPerRun(100, func() {
-		ords := ix.KeyOrds(key)
-		for _, o := range ords {
-			_ = ix.Entry(o)
+		ords := ix.KeyList(key)
+		for i, n := 0, ords.Len(); i < n; i++ {
+			_ = ix.Entry(ords.At(i))
 		}
 	}); got != 0 {
-		t.Fatalf("KeyOrds/Entry allocate %v per run, want 0", got)
+		t.Fatalf("KeyList/Entry allocate %v per run, want 0", got)
 	}
 }

@@ -592,7 +592,11 @@ func decodeArtifact(raw []byte) (*parsedDoc, error) {
 	if err := json.Unmarshal(raw, &dto); err != nil {
 		return nil, err
 	}
-	one, err := store.Decode(dto.Doc)
+	r, err := store.OpenBytes(dto.Doc, store.WithFormat("v1"))
+	if err != nil {
+		return nil, err
+	}
+	one, err := r.Database()
 	if err != nil {
 		return nil, err
 	}

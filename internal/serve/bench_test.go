@@ -34,7 +34,7 @@ func benchV2Server(b *testing.B, shards int) (*Server, string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv, err := NewFromStore(sv, Options{CacheSize: -1, Shards: shards})
+	srv, err := New(WithStore(sv), Options{CacheSize: -1, Shards: shards})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -32,7 +32,7 @@ func datedServer(t *testing.T, opts Options) *Server {
 	for i, e := range gt.DB.Errata() {
 		e.Disclosed = time.Date(2008+i%10, time.Month(1+i%12), 1+i%28, 0, 0, 0, 0, time.UTC)
 	}
-	return New(gt.DB, opts)
+	return newDBServer(gt.DB, opts)
 }
 
 // TestDisclosedRangeCacheKeys is the regression test for the

@@ -39,11 +39,15 @@ func TestFormatEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		v1DB, err := store.Decode(v1Bytes)
+		v1Reader, err := store.OpenBytes(v1Bytes)
 		if err != nil {
 			t.Fatal(err)
 		}
-		reference := New(v1DB, Options{CacheSize: -1}).Handler()
+		v1DB, err := v1Reader.Database()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference := newDBServer(v1DB, Options{CacheSize: -1}).Handler()
 
 		sv, err := store.OpenV2(v2Bytes)
 		if err != nil {
@@ -51,7 +55,7 @@ func TestFormatEquivalence(t *testing.T) {
 		}
 		v2Servers := map[string]http.Handler{}
 		for _, n := range []int{0, 1, 4, 16} {
-			srv, err := NewFromStore(sv, Options{CacheSize: -1, Shards: n})
+			srv, err := New(WithStore(sv), Options{CacheSize: -1, Shards: n})
 			if err != nil {
 				t.Fatalf("seed %d shards=%d: %v", seed, n, err)
 			}
@@ -103,7 +107,7 @@ func TestStitchedMatchesMarshal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(gt.DB, Options{CacheSize: -1})
+	srv := newDBServer(gt.DB, Options{CacheSize: -1})
 	h := srv.Handler()
 	if srv.snap.Load().frags == nil {
 		t.Fatal("server built without fragments; stitched path untested")

@@ -43,7 +43,7 @@ func ingestingServer(initial *core.Database, shards int) (*Server, *ingest.Inges
 	ing := ingest.NewFrom(initial, ingest.Options{Parallelism: 1})
 	var mu sync.Mutex
 	var srv *Server
-	srv = New(initial, Options{CacheSize: -1, Shards: shards, Ingest: func(_ context.Context, text string) (IngestSummary, error) {
+	srv = newDBServer(initial, Options{CacheSize: -1, Shards: shards, Ingest: func(_ context.Context, text string) (IngestSummary, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		res, err := ing.Apply([]string{text})
@@ -89,7 +89,7 @@ func stripGen(t *testing.T, body []byte) string {
 // TestIngestEndpointNotConfigured pins the 501 contract.
 func TestIngestEndpointNotConfigured(t *testing.T) {
 	db := core.NewDatabase()
-	srv := New(db, Options{})
+	srv := newDBServer(db, Options{})
 	code, body := postIngest(t, srv, "anything")
 	if code != 501 {
 		t.Fatalf("POST /v1/admin/ingest without Ingest: %d %s, want 501", code, truncate(body))
@@ -123,7 +123,7 @@ func TestIngestEndpointEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, shards := range []int{0, 1, 4, 16} {
-		cold := New(unionDB, Options{CacheSize: -1, Shards: shards})
+		cold := newDBServer(unionDB, Options{CacheSize: -1, Shards: shards})
 		srv, _ := ingestingServer(core.NewDatabase(), shards)
 		for i, text := range texts {
 			code, body := postIngest(t, srv, text)
@@ -195,7 +195,7 @@ func TestIngestUnderSwapLoad(t *testing.T) {
 	}
 
 	ing := ingest.NewFrom(initial, ingest.Options{Parallelism: 2})
-	srv := New(initial, Options{CacheSize: 64, Shards: 4})
+	srv := newDBServer(initial, Options{CacheSize: 64, Shards: 4})
 	// entriesAt records gen -> total entry count, written by the writer.
 	// A reader can observe a generation before the writer records it
 	// (the snapshot pointer flips inside SwapDelta, the record happens
@@ -279,7 +279,7 @@ func TestIngestUnderSwapLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold := New(unionDB, Options{CacheSize: -1, Shards: 4}).Handler()
+	cold := newDBServer(unionDB, Options{CacheSize: -1, Shards: 4}).Handler()
 	for _, url := range []string{"/v1/errata?unique=false&limit=1000", "/v1/stats"} {
 		wantCode, want := get(t, cold, url)
 		gotCode, got := get(t, h, url)

@@ -22,7 +22,7 @@ func TestMarshalFailuresAre500s(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(gt.DB, Options{
+	srv := newDBServer(gt.DB, Options{
 		CacheSize: -1,
 		Reloader: func(context.Context) (*core.Database, error) {
 			g, err := corpus.Generate(1)
@@ -94,7 +94,7 @@ func TestStitchedSurvivesMarshalFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(gt.DB, Options{CacheSize: -1})
+	srv := newDBServer(gt.DB, Options{CacheSize: -1})
 	h := srv.Handler()
 	key := gt.DB.Unique()[0].Key
 

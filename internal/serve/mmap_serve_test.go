@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/shard"
+	"repro/internal/store"
+)
+
+// openMapped opens path through store.Open's default (mmap) path and
+// skips the test on platforms without a mapping to exercise.
+func openMapped(t *testing.T, path string) *store.StoreV2 {
+	t.Helper()
+	r, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Mapped() {
+		r.Close()
+		t.Skip("mmap unsupported on this platform")
+	}
+	return r.(*store.StoreV2)
+}
+
+// TestMmapEquivalence is the mmap serving contract: a server whose
+// snapshot reads straight off the file mapping answers every /v1
+// response byte-identically to one reading the same file through
+// ReadFile — across the six equivalence-matrix seeds and at 0, 1, 4
+// and 16 shards. Fresh readers per shard count keep the sharded boots
+// on the lazy PartitionStore path.
+func TestMmapEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		gt, err := corpus.Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range gt.DB.Errata() {
+			e.Disclosed = time.Date(2008+i%10, time.Month(1+i%12), 1+i%28, 0, 0, 0, 0, time.UTC)
+		}
+		path := filepath.Join(t.TempDir(), "db.v2")
+		if err := store.SaveFormat(gt.DB, path, "v2"); err != nil {
+			t.Fatal(err)
+		}
+
+		urls := []string{"/v1/stats", "/healthz"}
+		for _, q := range serveFilterMatrix {
+			u := "/v1/errata"
+			if q != "" {
+				u += "?" + q
+			}
+			urls = append(urls, u)
+		}
+		keys := map[int]string{}
+		for _, e := range gt.DB.Errata() {
+			if e.Key == "" {
+				continue
+			}
+			if o := shard.Owner(e.Key, 16); keys[o] == "" {
+				keys[o] = e.Key
+			}
+		}
+		urls = append(urls, "/v1/errata/no-such-key")
+		for _, key := range keys {
+			urls = append(urls, "/v1/errata/"+key)
+		}
+
+		for _, n := range []int{0, 1, 4, 16} {
+			heapReader, err := store.Open(path, store.WithMmap(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			heapSrv, err := New(WithStore(heapReader), Options{CacheSize: -1, Shards: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			heapReader.Close()
+
+			mapped := openMapped(t, path)
+			mmapSrv, err := New(WithStore(mapped), Options{CacheSize: -1, Shards: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapped.Close()
+
+			want, got := heapSrv.Handler(), mmapSrv.Handler()
+			for _, url := range urls {
+				wantCode, wantBody := get(t, want, url)
+				gotCode, gotBody := get(t, got, url)
+				if gotCode != wantCode || !bytes.Equal(gotBody, wantBody) {
+					t.Fatalf("seed %d shards=%d %s: mmap %d %q != heap %d %q",
+						seed, n, url, gotCode, truncate(gotBody), wantCode, truncate(wantBody))
+				}
+			}
+		}
+	}
+}
+
+// TestMmapSwapUnderLoad swaps mmap-backed snapshots while readers
+// hammer the hot endpoints. Displacing a snapshot releases its region
+// and the last release unmaps, so any request still reading the old
+// mapping after its release would fault — the refcount (retained per
+// request by acquireSnap) is what this test proves, under -race in CI.
+// Afterwards every displaced region must be unmapped and only the
+// serving one alive.
+func TestMmapSwapUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	keys := make([]string, 2)
+	for i, seed := range []int64{1, 2} {
+		gt, err := corpus.Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = filepath.Join(dir, "db"+strconv.Itoa(i)+".v2")
+		if err := store.SaveFormat(gt.DB, paths[i], "v2"); err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = gt.DB.Unique()[0].Key
+	}
+
+	first := openMapped(t, paths[0])
+	srv, err := New(WithStore(first), Options{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := []*store.Region{first.Region()}
+	first.Close()
+
+	h := srv.Handler()
+	urls := []string{
+		"/v1/errata?vendor=Intel&unique=false",
+		"/v1/errata/" + keys[0],
+		"/v1/errata/" + keys[1],
+		"/v1/stats",
+		"/healthz",
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, u := range urls {
+					req := httptest.NewRequest("GET", u, nil)
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, req)
+					// Point lookups 404 on the corpus not currently
+					// served; anything else means a torn snapshot.
+					if w.Code != 200 && w.Code != 404 {
+						t.Errorf("%s: status %d: %s", u, w.Code, w.Body.String())
+						return
+					}
+					if w.Code == 200 && w.Body.Len() == 0 {
+						t.Errorf("%s: empty 200 body", u)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 24; i++ {
+		r := openMapped(t, paths[(i+1)%2])
+		if _, err := srv.SwapReader(r); err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r.Region())
+		r.Close()
+	}
+	close(stop)
+	wg.Wait()
+
+	for i, reg := range regions[:len(regions)-1] {
+		if reg.Active() {
+			t.Errorf("displaced region %d still active (leaked mapping)", i)
+		}
+	}
+	if last := regions[len(regions)-1]; !last.Active() {
+		t.Error("serving snapshot's region was released")
+	}
+}
+
+// TestSwapDeltaInheritsRegion pins the delta-swap lifecycle: a delta
+// snapshot shares entries (and so mapped strings) with its predecessor,
+// so it must retain the predecessor's region; a later full Swap to a
+// heap database is what finally unmaps it.
+func TestSwapDeltaInheritsRegion(t *testing.T) {
+	gt, err := corpus.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.v2")
+	if err := store.SaveFormat(gt.DB, path, "v2"); err != nil {
+		t.Fatal(err)
+	}
+	sv := openMapped(t, path)
+	srv, err := New(WithStore(sv), Options{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := sv.Region()
+	sv.Close()
+
+	// An unchanged corpus is a valid delta (every entry shared).
+	srv.SwapDelta(srv.snap.Load().db)
+	if !region.Active() {
+		t.Fatal("delta swap released the region its entries alias")
+	}
+
+	gt2, err := corpus.Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Swap(gt2.DB)
+	if region.Active() {
+		t.Error("region still active after a full swap to a heap database")
+	}
+}
+
+// TestLazyShardBootDecodesOnce pins the lazy materialization contract:
+// booting a 16-shard server straight from a store decodes each erratum
+// record exactly once (by its owning shard) and never materializes the
+// full database on the side.
+func TestLazyShardBootDecodesOnce(t *testing.T) {
+	gt, err := corpus.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := store.EncodeV2(gt.DB, store.V2Options{Postings: true, Fragments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := store.OpenV2(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(WithStore(sv), Options{CacheSize: -1, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Materialized() {
+		t.Error("sharded boot materialized the full database")
+	}
+	n := int64(len(gt.DB.Errata()))
+	if got := sv.DecodeCount(); got != n {
+		t.Errorf("boot decoded %d records, want exactly %d", got, n)
+	}
+	if got := srv.snap.Load().size(); got != int(n) {
+		t.Errorf("cluster serves %d entries, want %d", got, n)
+	}
+
+	// The single-index boot decodes once per record too (materialize).
+	sv2, err := store.OpenV2(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(WithStore(sv2), Options{CacheSize: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sv2.DecodeCount(); got != n {
+		t.Errorf("single-index boot decoded %d records, want exactly %d", got, n)
+	}
+}

@@ -95,6 +95,15 @@ type Options struct {
 	// swapped in atomically; the reloader must not mutate it afterwards.
 	// When nil, the reload endpoint answers 501 Not Implemented.
 	Reloader func(ctx context.Context) (*core.Database, error)
+	// ReloadSource, when non-nil, produces a fresh store.Reader for
+	// POST /v1/admin/reload (and Server.Reload) — the store-backed
+	// sibling of Reloader, so a reload of an mmap-backed corpus reopens
+	// the file instead of materializing a database first. The server
+	// swaps the reader in via SwapReader and closes it afterwards
+	// (snapshots hold their own region reference), so the callback must
+	// hand over ownership. Takes precedence over Reloader when both are
+	// set.
+	ReloadSource func(ctx context.Context) (store.Reader, error)
 	// Shards selects the sharded scatter-gather tier: the errata space
 	// is partitioned by dedup-key hash into this many shards, each with
 	// its own sub-database and index; /v1/errata fans out to all shards
@@ -172,6 +181,20 @@ type snapshot struct {
 	// from them instead of marshaling. nil disables stitching (the
 	// handlers fall back to encoding/json), never correctness.
 	frags *store.Fragments
+	// region is the mapped store region this snapshot's strings alias,
+	// nil for heap-backed snapshots. The snapshot owns one reference;
+	// handlers retain it for the request's lifetime (acquire/release)
+	// so a swap-triggered release can never munmap under an in-flight
+	// read.
+	region *store.Region
+}
+
+// release drops the caller's retained region reference (no-op for
+// heap-backed snapshots). Pairs with Server.acquireSnap.
+func (sn *snapshot) release() {
+	if sn != nil && sn.region != nil {
+		sn.region.Release()
+	}
 }
 
 // size and uniqueCount answer the entry counts regardless of mode.
@@ -216,25 +239,117 @@ type Server struct {
 	shardRebuilds *obs.Counter
 }
 
-// New builds the index over db and returns a ready server serving
-// generation 1. The caller must not mutate db afterwards.
-func New(db *core.Database, opts Options) *Server {
+// Option configures New. Exactly one data source must be supplied —
+// WithDatabase or WithStore — plus any number of tuning options. A
+// whole Options struct is itself an Option (it replaces the full
+// configuration, mirroring pipeline.Build), so existing Options
+// literals migrate by appending a source:
+//
+//	srv, err := serve.New(serve.WithDatabase(db), serve.Options{Shards: 4})
+type Option interface {
+	applyOption(*config)
+}
+
+// config is the resolved New configuration: tuning options plus the
+// single data source.
+type config struct {
+	opts Options
+	db   *core.Database
+	st   store.Reader
+}
+
+// applyOption replaces the whole tuning configuration, making Options
+// usable directly as an Option. Sources set by WithDatabase/WithStore
+// are untouched.
+func (o Options) applyOption(c *config) { c.opts = o }
+
+// optionFunc adapts a closure to the Option interface.
+type optionFunc func(*config)
+
+func (f optionFunc) applyOption(c *config) { f(c) }
+
+// WithDatabase serves the given in-memory database: the index is built
+// over it and fragments are precomputed. The caller must not mutate db
+// afterwards.
+func WithDatabase(db *core.Database) Option {
+	return optionFunc(func(c *config) { c.db = db })
+}
+
+// WithStore serves from an opened store reader. For a FormatVersion 2
+// reader the database materializes from the file's records, index
+// postings and response fragments load from the file where present,
+// and — when the reader is mmap-backed — the serving snapshot retains
+// the mapped region so the strings it aliases stay valid for as long
+// as any snapshot or in-flight request uses them. The server takes its
+// own region reference during New; the caller keeps ownership of r and
+// should Close it when done handing it to servers (the mapping stays
+// alive until the last snapshot referencing it is replaced).
+func WithStore(r store.Reader) Option {
+	return optionFunc(func(c *config) { c.st = r })
+}
+
+// WithCacheSize sets Options.CacheSize.
+func WithCacheSize(n int) Option {
+	return optionFunc(func(c *config) { c.opts.CacheSize = n })
+}
+
+// WithShards sets Options.Shards.
+func WithShards(n int) Option {
+	return optionFunc(func(c *config) { c.opts.Shards = n })
+}
+
+// WithObservability sets Options.Observability.
+func WithObservability(reg *obs.Registry) Option {
+	return optionFunc(func(c *config) { c.opts.Observability = reg })
+}
+
+// WithReloadSource sets Options.ReloadSource.
+func WithReloadSource(f func(ctx context.Context) (store.Reader, error)) Option {
+	return optionFunc(func(c *config) { c.opts.ReloadSource = f })
+}
+
+// New returns a ready server serving generation 1 from the configured
+// source. It errors when no source option was given, when both were
+// given, or when a store source fails to materialize.
+func New(opts ...Option) (*Server, error) {
+	var c config
+	for _, o := range opts {
+		o.applyOption(&c)
+	}
+	switch {
+	case c.db == nil && c.st == nil:
+		return nil, errors.New("serve: New needs a data source (WithDatabase or WithStore)")
+	case c.db != nil && c.st != nil:
+		return nil, errors.New("serve: WithDatabase and WithStore are mutually exclusive")
+	}
+	s := newServer(c.opts)
+	if c.st != nil {
+		if _, err := s.SwapReader(c.st); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	s.Swap(c.db)
+	return s, nil
+}
+
+// NewFromDatabase builds the index over db and returns a ready server
+// serving generation 1. The caller must not mutate db afterwards.
+//
+// Deprecated: use New(WithDatabase(db), opts).
+func NewFromDatabase(db *core.Database, opts Options) *Server {
 	s := newServer(opts)
 	s.Swap(db)
 	return s
 }
 
 // NewFromStore returns a ready server backed by an opened
-// FormatVersion 2 store: the database materializes from the file's
-// records, the index postings load from the file's arrays without an
-// annotation walk, and the response fragments come straight from the
-// fragment region — the zero-decode cold-start path of `errserve -db`.
-// Files missing optional sections degrade gracefully (index built,
-// fragments precomputed in memory). The file buffer must stay alive
-// and unmodified while the server runs.
+// FormatVersion 2 store.
+//
+// Deprecated: use New(WithStore(sv), opts).
 func NewFromStore(sv *store.StoreV2, opts Options) (*Server, error) {
 	s := newServer(opts)
-	if _, err := s.SwapStore(sv); err != nil {
+	if _, err := s.SwapReader(sv); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -326,55 +441,140 @@ func (s *Server) Swap(db *core.Database) uint64 {
 	if frags, err := store.BuildFragments(db); err == nil {
 		snap.frags = frags
 	}
-	s.swapMu.Lock()
-	snap.gen = s.gen.Add(1)
-	s.snap.Store(snap)
-	s.swapMu.Unlock()
-	s.swaps.Inc()
+	s.install(snap)
 	return snap.gen
 }
 
-// SwapStore installs the database of an opened FormatVersion 2 store,
-// loading index postings and response fragments from the file where
-// present instead of recomputing them. In sharded mode the stored
-// postings describe the unpartitioned index, so the cluster is
-// partitioned and indexed as in Swap; the fragment region still
-// applies (shards share erratum pointers with the parent database).
-func (s *Server) SwapStore(sv *store.StoreV2) (uint64, error) {
-	db, err := sv.Database()
+// install assigns snap the next generation and makes it the served
+// snapshot, then drops the server's reference on the displaced
+// snapshot's region. The release happens outside swapMu and after the
+// pointer flip, so a last-reference munmap never runs while readers
+// could still load the old snapshot without having retained it.
+func (s *Server) install(snap *snapshot) {
+	s.swapMu.Lock()
+	snap.gen = s.gen.Add(1)
+	prev := s.snap.Load()
+	s.snap.Store(snap)
+	s.swapMu.Unlock()
+	prev.release()
+	s.swaps.Inc()
+}
+
+// SwapReader installs the contents of an opened store reader as the
+// served snapshot. A FormatVersion 2 reader serves off its own bytes:
+// index postings and response fragments load from the file where
+// present, and in sharded mode the cluster materializes lazily —
+// shard.PartitionStore decodes each erratum exactly once, by the shard
+// that owns it. When the reader is mmap-backed the new snapshot
+// retains the mapped region (the caller's reference stays the
+// caller's; Close remains its job), so the mapping outlives every
+// snapshot and in-flight request that aliases it. Readers of other
+// formats materialize their database and take the plain Swap path.
+func (s *Server) SwapReader(r store.Reader) (uint64, error) {
+	sv, ok := r.(*store.StoreV2)
+	if !ok {
+		db, err := r.Database()
+		if err != nil {
+			return 0, err
+		}
+		return s.Swap(db), nil
+	}
+	region := sv.Region()
+	if region != nil && !region.TryRetain() {
+		return 0, errors.New("serve: store is closed")
+	}
+	snap, err := s.buildStoreSnapshot(sv)
 	if err != nil {
+		if region != nil {
+			region.Release()
+		}
 		return 0, err
 	}
-	snap := &snapshot{db: db, stats: db.ComputeStats()}
-	if s.opts.Shards > 0 {
+	snap.region = region
+	s.install(snap)
+	return snap.gen, nil
+}
+
+// buildStoreSnapshot assembles the (un-installed, generation-less)
+// snapshot for a FormatVersion 2 store.
+func (s *Server) buildStoreSnapshot(sv *store.StoreV2) (*snapshot, error) {
+	snap := &snapshot{}
+	switch {
+	case s.opts.Shards > 0 && !sv.Materialized():
+		// Lazy partition: placement reads only each record's key fields,
+		// then every shard decodes just the errata it owns.
+		db, cluster, err := shard.PartitionStore(sv, s.opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		snap.db, snap.cluster = db, cluster
+		for _, sh := range cluster.Shards {
+			sh.IX.Instrument(s.reg)
+		}
+		frags, err := sv.FragmentsFor(db.Errata())
+		if err != nil {
+			return nil, err
+		}
+		if frags == nil {
+			frags, _ = store.BuildFragments(db)
+		}
+		snap.frags = frags
+	case s.opts.Shards > 0:
+		// The corpus is already decoded and memoized (e.g. the caller
+		// built an ingester over it): partition the shared pointers
+		// rather than decoding every record a second time.
+		db, err := sv.Database()
+		if err != nil {
+			return nil, err
+		}
+		snap.db = db
 		snap.cluster = shard.Partition(db, s.opts.Shards)
 		for _, sh := range snap.cluster.Shards {
 			sh.IX.Instrument(s.reg)
 		}
-	} else if p := sv.IndexParts(); p != nil {
-		snap.ix, err = index.FromParts(db, p)
+		frags, err := sv.Fragments()
 		if err != nil {
-			return 0, err
+			return nil, err
+		}
+		if frags == nil {
+			frags, _ = store.BuildFragments(db)
+		}
+		snap.frags = frags
+	default:
+		db, err := sv.Database()
+		if err != nil {
+			return nil, err
+		}
+		snap.db = db
+		if l := sv.IndexLists(); l != nil {
+			// Postings stay disk-resident: the index walks the file's
+			// arrays (or the mapping) directly via index.List spans.
+			snap.ix, err = index.FromLists(db, l)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			snap.ix = index.Build(db)
 		}
 		snap.ix.Instrument(s.reg)
-	} else {
-		snap.ix = index.Build(db)
-		snap.ix.Instrument(s.reg)
+		frags, err := sv.Fragments()
+		if err != nil {
+			return nil, err
+		}
+		if frags == nil {
+			frags, _ = store.BuildFragments(db)
+		}
+		snap.frags = frags
 	}
-	frags, err := sv.Fragments()
-	if err != nil {
-		return 0, err
-	}
-	if frags == nil {
-		frags, _ = store.BuildFragments(db)
-	}
-	snap.frags = frags
-	s.swapMu.Lock()
-	snap.gen = s.gen.Add(1)
-	s.snap.Store(snap)
-	s.swapMu.Unlock()
-	s.swaps.Inc()
-	return snap.gen, nil
+	snap.stats = snap.db.ComputeStats()
+	return snap, nil
+}
+
+// SwapStore installs the database of an opened FormatVersion 2 store.
+//
+// Deprecated: use SwapReader.
+func (s *Server) SwapStore(sv *store.StoreV2) (uint64, error) {
+	return s.SwapReader(sv)
 }
 
 // SwapDelta installs db as the served snapshot by merging against the
@@ -400,6 +600,15 @@ func (s *Server) SwapDelta(db *core.Database) uint64 {
 	defer s.swapMu.Unlock()
 	prev := s.snap.Load()
 	snap := &snapshot{db: db, stats: db.ComputeStats()}
+	if prev != nil && prev.region != nil {
+		// The delta database shares surviving entries by pointer with the
+		// previous snapshot, so its strings may alias the mapping: the
+		// successor must keep the region alive. prev is the installed
+		// snapshot and owns a reference, so the retain cannot race a
+		// final release.
+		prev.region.TryRetain()
+		snap.region = prev.region
+	}
 	if s.opts.Shards > 0 {
 		var pc *shard.Cluster
 		if prev != nil {
@@ -435,6 +644,10 @@ func (s *Server) SwapDelta(db *core.Database) uint64 {
 	}
 	snap.gen = s.gen.Add(1)
 	s.snap.Store(snap)
+	// Drop the displaced snapshot's own region reference; the successor
+	// holds the one retained above, so the mapping cannot reach zero
+	// here.
+	prev.release()
 	s.swaps.Inc()
 	s.deltaSwaps.Inc()
 	s.swapLag.Observe(time.Since(start).Seconds())
@@ -445,16 +658,55 @@ func (s *Server) SwapDelta(db *core.Database) uint64 {
 // snapshot.
 func (s *Server) Generation() uint64 { return s.snap.Load().gen }
 
-// Reload produces a fresh database via Options.Reloader and swaps it
-// in, returning the new generation. Reloads are serialized: concurrent
-// calls run one at a time. Returns an error when no Reloader is
-// configured or the reloader fails (the served snapshot is untouched).
+// Stats returns the precomputed corpus statistics of the currently
+// served snapshot — the same numbers /v1/stats reports, without a
+// request (and, for store-backed servers, without decoding anything).
+func (s *Server) Stats() core.Stats { return s.snap.Load().stats }
+
+// acquireSnap loads the current snapshot and, when it is backed by a
+// mapped region, retains the region for the caller. The retry loop
+// closes the race where a swap displaces the loaded snapshot and
+// releases its region (possibly unmapping it) between the Load and the
+// retain: a failed TryRetain means the snapshot is already dead, so
+// the caller simply loads the successor. Callers must release() the
+// returned snapshot when done.
+func (s *Server) acquireSnap() *snapshot {
+	for {
+		sn := s.snap.Load()
+		if sn == nil || sn.region == nil || sn.region.TryRetain() {
+			return sn
+		}
+	}
+}
+
+// Reload produces a fresh snapshot via Options.ReloadSource (preferred)
+// or Options.Reloader and swaps it in, returning the new generation.
+// Reloads are serialized: concurrent calls run one at a time. Returns
+// an error when neither callback is configured or the callback fails
+// (the served snapshot is untouched).
 func (s *Server) Reload(ctx context.Context) (uint64, error) {
-	if s.opts.Reloader == nil {
+	if s.opts.Reloader == nil && s.opts.ReloadSource == nil {
 		return 0, errors.New("serve: no reloader configured")
 	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	if s.opts.ReloadSource != nil {
+		r, err := s.opts.ReloadSource(ctx)
+		if err != nil {
+			return 0, fmt.Errorf("serve: reload: %w", err)
+		}
+		gen, err := s.SwapReader(r)
+		// The snapshot holds its own region reference; dropping the
+		// opener's here means the mapping lives exactly as long as
+		// snapshots using it do.
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return 0, fmt.Errorf("serve: reload: %w", err)
+		}
+		return gen, nil
+	}
 	db, err := s.opts.Reloader(ctx)
 	if err != nil {
 		return 0, fmt.Errorf("serve: reload: %w", err)
@@ -893,7 +1145,8 @@ func (s *Server) scatterGather(c *shard.Cluster, req *errataRequest) ([]*core.Er
 }
 
 func (s *Server) handleErrata(w http.ResponseWriter, r *http.Request) {
-	snap := s.snap.Load()
+	snap := s.acquireSnap()
+	defer snap.release()
 	req, err := parseFilters(r.URL.Query())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -993,7 +1246,8 @@ func stitchErrataPage(snap *snapshot, req *errataRequest, page []*core.Erratum, 
 }
 
 func (s *Server) handleErratum(w http.ResponseWriter, r *http.Request) {
-	snap := s.snap.Load()
+	snap := s.acquireSnap()
+	defer snap.release()
 	key := r.PathValue("key")
 	if s.stitchErratum(w, snap, key) {
 		return
@@ -1049,12 +1303,13 @@ func (s *Server) stitchErratum(w http.ResponseWriter, snap *snapshot, key string
 	} else {
 		ix = snap.ix
 	}
-	ords := ix.KeyOrds(key)
-	if len(ords) == 0 {
+	ords := ix.KeyList(key)
+	if ords == nil || ords.Len() == 0 {
 		return false
 	}
-	for _, ord := range ords {
-		if snap.frags.Detail(ix.Entry(ord)) == nil {
+	n := ords.Len()
+	for i := 0; i < n; i++ {
+		if snap.frags.Detail(ix.Entry(ords.At(i))) == nil {
 			return false
 		}
 	}
@@ -1063,15 +1318,15 @@ func (s *Server) stitchErratum(w http.ResponseWriter, snap *snapshot, key string
 	buf = append(buf, `{"key":`...)
 	buf = append(buf, keyJSON...)
 	buf = append(buf, `,"occurrences":`...)
-	buf = strconv.AppendInt(buf, int64(len(ords)), 10)
+	buf = strconv.AppendInt(buf, int64(n), 10)
 	buf = append(buf, `,"generation":`...)
 	buf = strconv.AppendUint(buf, snap.gen, 10)
 	buf = append(buf, `,"entries":[`...)
-	for i, ord := range ords {
+	for i := 0; i < n; i++ {
 		if i > 0 {
 			buf = append(buf, ',')
 		}
-		buf = append(buf, snap.frags.Detail(ix.Entry(ord))...)
+		buf = append(buf, snap.frags.Detail(ix.Entry(ords.At(i)))...)
 	}
 	buf = append(buf, "]}"...)
 	writeJSON(w, http.StatusOK, buf)
@@ -1081,7 +1336,8 @@ func (s *Server) stitchErratum(w http.ResponseWriter, snap *snapshot, key string
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	snap := s.snap.Load()
+	snap := s.acquireSnap()
+	defer snap.release()
 	st := snap.stats
 	body, err := marshalJSON(struct {
 		Documents    int    `json:"documents"`
@@ -1113,7 +1369,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	snap := s.snap.Load()
+	snap := s.acquireSnap()
+	defer snap.release()
 	body, err := marshalJSON(struct {
 		Status     string `json:"status"`
 		Errata     int    `json:"errata"`
@@ -1129,7 +1386,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReload swaps in a freshly produced database with zero downtime.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if s.opts.Reloader == nil {
+	if s.opts.Reloader == nil && s.opts.ReloadSource == nil {
 		writeError(w, http.StatusNotImplemented, "reload is not configured on this server")
 		return
 	}

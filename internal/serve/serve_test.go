@@ -17,6 +17,17 @@ import (
 	"repro/internal/obs"
 )
 
+// newDBServer is the test-side shorthand for the database-backed
+// constructor; New only errors when no source is configured, which a
+// non-nil db rules out.
+func newDBServer(db *core.Database, opts Options) *Server {
+	s, err := New(WithDatabase(db), opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // testServer builds a server over the synthetic corpus (seed 1).
 func testServer(t testing.TB, opts Options) *Server {
 	t.Helper()
@@ -24,7 +35,7 @@ func testServer(t testing.TB, opts Options) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(gt.DB, opts)
+	return newDBServer(gt.DB, opts)
 }
 
 func getJSON(t *testing.T, client *http.Client, url string, out any) int {

@@ -75,10 +75,10 @@ func TestShardedEquivalence(t *testing.T) {
 		for i, e := range gt.DB.Errata() {
 			e.Disclosed = time.Date(2008+i%10, time.Month(1+i%12), 1+i%28, 0, 0, 0, 0, time.UTC)
 		}
-		single := New(gt.DB, Options{CacheSize: -1}).Handler()
+		single := newDBServer(gt.DB, Options{CacheSize: -1}).Handler()
 		sharded := map[string]http.Handler{}
 		for _, n := range []int{1, 4, 16} {
-			sharded[strconv.Itoa(n)] = New(gt.DB, Options{CacheSize: -1, Shards: n}).Handler()
+			sharded[strconv.Itoa(n)] = newDBServer(gt.DB, Options{CacheSize: -1, Shards: n}).Handler()
 		}
 
 		for _, q := range serveFilterMatrix {
@@ -145,7 +145,7 @@ func TestShardedEdgeCases(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats := gt.DB.ComputeStats()
-	s := New(gt.DB, Options{Shards: 4})
+	s := newDBServer(gt.DB, Options{Shards: 4})
 	h := s.Handler()
 
 	var health struct {
@@ -190,7 +190,7 @@ func TestShardedEdgeCases(t *testing.T) {
 	if lastKey == "" {
 		t.Fatal("no key owned by the last shard")
 	}
-	single := New(gt.DB, Options{CacheSize: -1}).Handler()
+	single := newDBServer(gt.DB, Options{CacheSize: -1}).Handler()
 	wantCode, want := get(t, single, "/v1/errata/"+lastKey)
 	gotCode, got := get(t, h, "/v1/errata/"+lastKey)
 	if gotCode != wantCode || !bytes.Equal(got, want) {
@@ -242,7 +242,7 @@ func TestShardedSwapUnderLoad(t *testing.T) {
 		t.Fatal("no dedup key in the test database")
 	}
 
-	s := New(dbA, Options{CacheSize: 64, Shards: 4})
+	s := newDBServer(dbA, Options{CacheSize: 64, Shards: 4})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	client := ts.Client()

@@ -45,7 +45,7 @@ func TestSnapshotSwapUnderLoad(t *testing.T) {
 	dbA, dbB := swapTestDBs(t)
 	statsA, statsB := dbA.ComputeStats(), dbB.ComputeStats()
 
-	s := New(dbA, Options{CacheSize: 64})
+	s := newDBServer(dbA, Options{CacheSize: 64})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	client := ts.Client()
@@ -201,7 +201,7 @@ func TestAdminReload(t *testing.T) {
 	statsB := dbB.ComputeStats()
 
 	// No reloader configured: 501.
-	s := New(dbA, Options{})
+	s := newDBServer(dbA, Options{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	resp, err := ts.Client().Post(ts.URL+"/v1/admin/reload", "application/json", nil)
@@ -218,7 +218,7 @@ func TestAdminReload(t *testing.T) {
 
 	// With a reloader: swap to dbB, generation advances, stats follow.
 	var fail bool
-	s2 := New(dbA, Options{Reloader: func(context.Context) (*core.Database, error) {
+	s2 := newDBServer(dbA, Options{Reloader: func(context.Context) (*core.Database, error) {
 		if fail {
 			return nil, errors.New("synthetic reload failure")
 		}
@@ -289,7 +289,7 @@ func TestAdminReload(t *testing.T) {
 func TestSwapInvalidatesCache(t *testing.T) {
 	dbA, dbB := swapTestDBs(t)
 	statsA, statsB := dbA.ComputeStats(), dbB.ComputeStats()
-	s := New(dbA, Options{CacheSize: 16})
+	s := newDBServer(dbA, Options{CacheSize: 16})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

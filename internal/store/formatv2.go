@@ -6,9 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unsafe"
 
@@ -164,12 +166,27 @@ func dateUnix(t time.Time) uint64 {
 	return uint64(t.Unix())
 }
 
-// EncodeV2 serializes the database in FormatVersion 2. Encoding is
-// deterministic: documents are emitted in Documents() order, strings
-// are deduplicated in first-occurrence order, and postings maps are
-// emitted in canonical (sorted) key order, so repeated encodings of the
-// same database are byte-identical.
+// EncodeV2 serializes the database in FormatVersion 2 into one heap
+// buffer. Encoding is deterministic: documents are emitted in
+// Documents() order, strings are deduplicated in first-occurrence
+// order, and postings maps are emitted in canonical (sorted) key order,
+// so repeated encodings of the same database are byte-identical — and
+// identical to what EncodeV2To streams.
 func EncodeV2(db *core.Database, opts V2Options) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeV2To(&buf, db, opts); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeV2To streams the FormatVersion 2 serialization of db to w
+// without ever concatenating the sections into a second corpus-sized
+// buffer: the whole-file checksum is computed incrementally over the
+// directory and section bytes (CRC over a concatenation is the chained
+// CRC over its pieces), then header, directory and sections are written
+// in file order. Output is byte-identical to EncodeV2.
+func EncodeV2To(w io.Writer, db *core.Database, opts V2Options) error {
 	e := &v2Encoder{strings: []byte{0}, strMap: make(map[string]strRef)}
 
 	docs := db.Documents()
@@ -264,12 +281,12 @@ func EncodeV2(db *core.Database, opts V2Options) ([]byte, error) {
 	var err error
 	if opts.Postings {
 		if ords, post, err = encodePostings(db, e); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if opts.Fragments {
 		if frags, fragIdx, err = encodeFragments(db, errata); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
@@ -309,7 +326,7 @@ func EncodeV2(db *core.Database, opts V2Options) ([]byte, error) {
 
 	for _, s := range sections {
 		if uint64(len(s.data)) > math.MaxUint32 {
-			return nil, fmt.Errorf("store: v2: section %d exceeds 4 GiB", s.id)
+			return fmt.Errorf("store: v2: section %d exceeds 4 GiB", s.id)
 		}
 	}
 
@@ -320,22 +337,39 @@ func EncodeV2(db *core.Database, opts V2Options) ([]byte, error) {
 		total += len(s.data)
 	}
 
-	out := make([]byte, 0, total)
-	out = append(out, v2Magic...)
-	out = apU32(out, FormatVersion2)
-	out = apU32(out, uint32(len(sections)))
-	out = apU64(out, uint64(total))
-	out = apU64(out, 0) // checksum patched below
+	dir := make([]byte, 0, v2DirEntSize*len(sections))
 	for i, s := range sections {
-		out = apU32(out, s.id)
-		out = apU64(out, offs[i])
-		out = apU64(out, uint64(len(s.data)))
+		dir = apU32(dir, s.id)
+		dir = apU64(dir, offs[i])
+		dir = apU64(dir, uint64(len(s.data)))
+	}
+
+	// The header carries the checksum of everything after itself, so it
+	// is computed before a single post-header byte is written.
+	crc := crc32.Update(0, crcTable, dir)
+	for _, s := range sections {
+		crc = crc32.Update(crc, crcTable, s.data)
+	}
+
+	hdr := make([]byte, 0, v2HeaderSize)
+	hdr = append(hdr, v2Magic...)
+	hdr = apU32(hdr, FormatVersion2)
+	hdr = apU32(hdr, uint32(len(sections)))
+	hdr = apU64(hdr, uint64(total))
+	hdr = apU64(hdr, uint64(crc))
+
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.Write(dir); err != nil {
+		return err
 	}
 	for _, s := range sections {
-		out = append(out, s.data...)
+		if _, err := w.Write(s.data); err != nil {
+			return err
+		}
 	}
-	binary.LittleEndian.PutUint64(out[24:], uint64(crc32.Checksum(out[v2HeaderSize:], crcTable)))
-	return out, nil
+	return nil
 }
 
 // encodePostings flattens the inverted index over db into the ORDS and
@@ -458,10 +492,16 @@ func encodeFragments(db *core.Database, errata []*core.Erratum) (frags, fragIdx 
 
 // StoreV2 is an opened FormatVersion 2 database. All sections are
 // bounds-checked at Open time; accessors afterwards are infallible
-// slices into the file buffer. The caller must not mutate data while
-// the store (or anything materialized from it) is in use.
+// slices into the file buffer — which may be heap bytes (OpenV2) or an
+// mmap'ed file (Open with a .v2 path), in which case everything
+// materialized from the store aliases the mapping and is only valid
+// while the region holds a reference. The caller must not mutate data
+// while the store (or anything materialized from it) is in use.
 type StoreV2 struct {
 	data    []byte
+	region  *Region
+	closed  atomic.Bool
+	decodes atomic.Int64 // erratum records decoded, for lazy-boot tests
 	strings []byte
 	docRecs []byte
 	revRecs []byte
@@ -482,6 +522,7 @@ type StoreV2 struct {
 	fragIdx []byte
 
 	dbOnce sync.Once
+	dbDone atomic.Bool
 	db     *core.Database
 	dbErr  error
 
@@ -568,7 +609,7 @@ func OpenV2(data []byte) (*StoreV2, error) {
 		return nil, fmt.Errorf("store: v2: sections end at %d, file has %d bytes", next, len(data))
 	}
 
-	s := &StoreV2{data: data}
+	s := &StoreV2{data: data, region: newHeapRegion(data)}
 	recs := []struct {
 		id   uint32
 		name string
@@ -950,6 +991,125 @@ func v2date(u uint64) time.Time {
 // materializing anything.
 func (s *StoreV2) Size() int { return s.nErr }
 
+// Format returns FormatVersion2; part of the Reader interface.
+func (s *StoreV2) Format() int { return FormatVersion2 }
+
+// Mapped reports whether the store reads from a file mapping rather
+// than heap bytes.
+func (s *StoreV2) Mapped() bool { return s.region.Mapped() }
+
+// Region returns the refcounted byte range backing the store. Holders
+// that need the bytes to outlive Close (the serving layer's snapshots)
+// must TryRetain it and Release when done.
+func (s *StoreV2) Region() *Region { return s.region }
+
+// Close releases the opener's reference on the backing region; for a
+// mapped store the last reference dropped runs munmap. Close is
+// idempotent. After the final release every accessor — and every
+// zero-copy string materialized from the store — is invalid.
+func (s *StoreV2) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	return s.region.Release()
+}
+
+// DecodeCount returns how many erratum records have been decoded so
+// far. The lazy-materialization tests pin that an n-shard boot decodes
+// each record exactly once.
+func (s *StoreV2) DecodeCount() int64 { return s.decodes.Load() }
+
+// NumDocs returns the number of document records without materializing
+// anything.
+func (s *StoreV2) NumDocs() int { return s.nDocs }
+
+// Doc decodes document record i — metadata, revisions and withdrawn
+// lists, but not its errata (see DocErrataRange and Erratum, which the
+// lazy shard boot uses to decode only the entries a shard owns).
+// Strings alias the file buffer.
+func (s *StoreV2) Doc(i int) *core.Document {
+	base := i * docRecSize
+	d := &core.Document{
+		Key:       s.str(gu32(s.docRecs, base), gu32(s.docRecs, base+4)),
+		Label:     s.str(gu32(s.docRecs, base+8), gu32(s.docRecs, base+12)),
+		Reference: s.str(gu32(s.docRecs, base+16), gu32(s.docRecs, base+20)),
+		Vendor:    core.Vendor(gu32(s.docRecs, base+24)),
+		Order:     int(int32(gu32(s.docRecs, base+28))),
+		GenIndex:  int(int32(gu32(s.docRecs, base+32))),
+		Released:  v2date(gu64(s.docRecs, base+40)),
+		Withdrawn: s.strList(gu32(s.docRecs, base+64), gu32(s.docRecs, base+68)),
+	}
+	rOff, rN := gu32(s.docRecs, base+48), gu32(s.docRecs, base+52)
+	if rN > 0 {
+		d.Revisions = make([]core.Revision, rN)
+		for r := uint32(0); r < rN; r++ {
+			rb := int(rOff+r) * revRecSize
+			d.Revisions[r] = core.Revision{
+				Number: int(int32(gu32(s.revRecs, rb))),
+				Date:   v2date(gu64(s.revRecs, rb+8)),
+				Added:  s.strList(gu32(s.revRecs, rb+16), gu32(s.revRecs, rb+20)),
+			}
+		}
+	}
+	return d
+}
+
+// DocErrataRange returns the ordinal range [off, off+n) of document
+// record i's errata. Ordinals are sequential across documents in record
+// order (validated at open).
+func (s *StoreV2) DocErrataRange(i int) (off, n int) {
+	base := i * docRecSize
+	return int(gu32(s.docRecs, base+56)), int(gu32(s.docRecs, base+60))
+}
+
+// Erratum decodes the erratum record at the given ordinal, attributed
+// to docKey. Strings alias the file buffer. Each call decodes afresh;
+// callers wanting shared identity (pointer-keyed fragments, shard
+// ranks) must decode once and share the pointer.
+func (s *StoreV2) Erratum(ord int, docKey string) *core.Erratum {
+	s.decodes.Add(1)
+	eb := ord * errRecSize
+	flags := s.errRecs[eb+62]
+	return &core.Erratum{
+		DocKey:        docKey,
+		ID:            s.str(gu32(s.errRecs, eb), gu32(s.errRecs, eb+4)),
+		Seq:           int(int32(gu32(s.errRecs, eb+56))),
+		Title:         s.str(gu32(s.errRecs, eb+8), gu32(s.errRecs, eb+12)),
+		Description:   s.str(gu32(s.errRecs, eb+16), gu32(s.errRecs, eb+20)),
+		Implication:   s.str(gu32(s.errRecs, eb+24), gu32(s.errRecs, eb+28)),
+		Workaround:    s.str(gu32(s.errRecs, eb+32), gu32(s.errRecs, eb+36)),
+		Status:        s.str(gu32(s.errRecs, eb+40), gu32(s.errRecs, eb+44)),
+		WorkaroundCat: core.WorkaroundCategory(s.errRecs[eb+60]),
+		Fix:           core.FixStatus(s.errRecs[eb+61]),
+		AddedIn:       int(int32(gu32(s.errRecs, eb+64))),
+		Disclosed:     v2date(gu64(s.errRecs, eb+68)),
+		Key:           s.str(gu32(s.errRecs, eb+48), gu32(s.errRecs, eb+52)),
+		Ann: core.Annotation{
+			Triggers:          s.itemList(gu32(s.errRecs, eb+76), gu32(s.errRecs, eb+80)),
+			Contexts:          s.itemList(gu32(s.errRecs, eb+84), gu32(s.errRecs, eb+88)),
+			Effects:           s.itemList(gu32(s.errRecs, eb+92), gu32(s.errRecs, eb+96)),
+			MSRs:              s.strList(gu32(s.errRecs, eb+100), gu32(s.errRecs, eb+104)),
+			ComplexConditions: flags&1 != 0,
+			TrivialTrigger:    flags&2 != 0,
+			SimulationOnly:    flags&4 != 0,
+		},
+	}
+}
+
+// EntryKey returns the cluster key of the erratum record at ord without
+// decoding the record. The string aliases the file buffer.
+func (s *StoreV2) EntryKey(ord int) string {
+	eb := ord * errRecSize
+	return s.str(gu32(s.errRecs, eb+48), gu32(s.errRecs, eb+52))
+}
+
+// EntryID returns the vendor-assigned ID of the erratum record at ord
+// without decoding the record. The string aliases the file buffer.
+func (s *StoreV2) EntryID(ord int) string {
+	eb := ord * errRecSize
+	return s.str(gu32(s.errRecs, eb), gu32(s.errRecs, eb+4))
+}
+
 // HasPostings reports whether the file embeds the inverted index's
 // postings lists.
 func (s *StoreV2) HasPostings() bool { return s.post != nil }
@@ -962,66 +1122,28 @@ func (s *StoreV2) HasFragments() bool { return s.frags != nil }
 // over the file buffer, so the buffer must outlive the database. The
 // result is memoized; concurrent callers share one materialization.
 func (s *StoreV2) Database() (*core.Database, error) {
-	s.dbOnce.Do(func() { s.db, s.dbErr = s.materialize() })
+	s.dbOnce.Do(func() {
+		s.db, s.dbErr = s.materialize()
+		s.dbDone.Store(true)
+	})
 	return s.db, s.dbErr
 }
+
+// Materialized reports whether Database has already run, i.e. the full
+// corpus is decoded and memoized. Lazy consumers (the sharded serving
+// boot) use it to reuse the existing materialization instead of
+// decoding the records a second time.
+func (s *StoreV2) Materialized() bool { return s.dbDone.Load() }
 
 func (s *StoreV2) materialize() (*core.Database, error) {
 	db := core.NewDatabase()
 	for i := 0; i < s.nDocs; i++ {
-		base := i * docRecSize
-		d := &core.Document{
-			Key:       s.str(gu32(s.docRecs, base), gu32(s.docRecs, base+4)),
-			Label:     s.str(gu32(s.docRecs, base+8), gu32(s.docRecs, base+12)),
-			Reference: s.str(gu32(s.docRecs, base+16), gu32(s.docRecs, base+20)),
-			Vendor:    core.Vendor(gu32(s.docRecs, base+24)),
-			Order:     int(int32(gu32(s.docRecs, base+28))),
-			GenIndex:  int(int32(gu32(s.docRecs, base+32))),
-			Released:  v2date(gu64(s.docRecs, base+40)),
-			Withdrawn: s.strList(gu32(s.docRecs, base+64), gu32(s.docRecs, base+68)),
-		}
-		rOff, rN := gu32(s.docRecs, base+48), gu32(s.docRecs, base+52)
-		if rN > 0 {
-			d.Revisions = make([]core.Revision, rN)
-			for r := uint32(0); r < rN; r++ {
-				rb := int(rOff+r) * revRecSize
-				d.Revisions[r] = core.Revision{
-					Number: int(int32(gu32(s.revRecs, rb))),
-					Date:   v2date(gu64(s.revRecs, rb+8)),
-					Added:  s.strList(gu32(s.revRecs, rb+16), gu32(s.revRecs, rb+20)),
-				}
-			}
-		}
-		eOff, eN := gu32(s.docRecs, base+56), gu32(s.docRecs, base+60)
+		d := s.Doc(i)
+		eOff, eN := s.DocErrataRange(i)
 		if eN > 0 {
 			d.Errata = make([]*core.Erratum, eN)
-			for j := uint32(0); j < eN; j++ {
-				eb := int(eOff+j) * errRecSize
-				flags := s.errRecs[eb+62]
-				d.Errata[j] = &core.Erratum{
-					DocKey:        d.Key,
-					ID:            s.str(gu32(s.errRecs, eb), gu32(s.errRecs, eb+4)),
-					Seq:           int(int32(gu32(s.errRecs, eb+56))),
-					Title:         s.str(gu32(s.errRecs, eb+8), gu32(s.errRecs, eb+12)),
-					Description:   s.str(gu32(s.errRecs, eb+16), gu32(s.errRecs, eb+20)),
-					Implication:   s.str(gu32(s.errRecs, eb+24), gu32(s.errRecs, eb+28)),
-					Workaround:    s.str(gu32(s.errRecs, eb+32), gu32(s.errRecs, eb+36)),
-					Status:        s.str(gu32(s.errRecs, eb+40), gu32(s.errRecs, eb+44)),
-					WorkaroundCat: core.WorkaroundCategory(s.errRecs[eb+60]),
-					Fix:           core.FixStatus(s.errRecs[eb+61]),
-					AddedIn:       int(int32(gu32(s.errRecs, eb+64))),
-					Disclosed:     v2date(gu64(s.errRecs, eb+68)),
-					Key:           s.str(gu32(s.errRecs, eb+48), gu32(s.errRecs, eb+52)),
-					Ann: core.Annotation{
-						Triggers:          s.itemList(gu32(s.errRecs, eb+76), gu32(s.errRecs, eb+80)),
-						Contexts:          s.itemList(gu32(s.errRecs, eb+84), gu32(s.errRecs, eb+88)),
-						Effects:           s.itemList(gu32(s.errRecs, eb+92), gu32(s.errRecs, eb+96)),
-						MSRs:              s.strList(gu32(s.errRecs, eb+100), gu32(s.errRecs, eb+104)),
-						ComplexConditions: flags&1 != 0,
-						TrivialTrigger:    flags&2 != 0,
-						SimulationOnly:    flags&4 != 0,
-					},
-				}
+			for j := 0; j < eN; j++ {
+				d.Errata[j] = s.Erratum(eOff+j, d.Key)
 			}
 		}
 		if err := db.Add(d); err != nil {
@@ -1087,6 +1209,55 @@ func (s *StoreV2) IndexParts() *index.Parts {
 	return p
 }
 
+// IndexLists reconstructs the inverted index's postings as spans over
+// the ORDS section — the disk-resident postings iterator. Unlike
+// IndexParts nothing is copied into the heap: every list reads its u32
+// ordinals straight off the file buffer (the mapping, for an
+// mmap-backed store), so compound-filter queries walk postings from
+// disk pages the kernel faults in on demand. Returns nil when the file
+// carries no postings. Lists are only valid while the store's region
+// holds a reference.
+func (s *StoreV2) IndexLists() *index.ListParts {
+	if s.post == nil {
+		return nil
+	}
+	span := func(l v2list) index.List {
+		if l.n == 0 {
+			return nil
+		}
+		return index.NewSpan(s.ords[l.off*4 : (l.off+l.n)*4])
+	}
+	p := &index.ListParts{
+		UniqueOrds:   span(s.post.unique),
+		ComplexSet:   span(s.post.complexSet),
+		SimOnlySet:   span(s.post.simOnlySet),
+		ByVendor:     make(map[core.Vendor]index.List, len(s.post.vendors)),
+		ByWorkaround: make(map[core.WorkaroundCategory]index.List, len(s.post.workarounds)),
+		ByFix:        make(map[core.FixStatus]index.List, len(s.post.fixes)),
+		TriggerCount: index.NewSpan(s.post.raw[s.post.trigOff : s.post.trigOff+s.nErr*4]),
+	}
+	for _, ev := range s.post.vendors {
+		p.ByVendor[core.Vendor(ev.val)] = span(ev.list)
+	}
+	for _, ev := range s.post.workarounds {
+		p.ByWorkaround[core.WorkaroundCategory(ev.val)] = span(ev.list)
+	}
+	for _, ev := range s.post.fixes {
+		p.ByFix[core.FixStatus(ev.val)] = span(ev.list)
+	}
+	strMaps := [6]*map[string]index.List{
+		&p.ByDoc, &p.ByCategory, &p.ByTriggerCat, &p.ByClass, &p.ByKey, &p.ByMSR,
+	}
+	for m, dst := range strMaps {
+		mm := make(map[string]index.List, len(s.post.strMaps[m]))
+		for _, kv := range s.post.strMaps[m] {
+			mm[s.str(kv.key.off, kv.key.ln)] = span(kv.list)
+		}
+		*dst = mm
+	}
+	return p
+}
+
 // Fragments returns the precomputed response fragments, keyed by the
 // materialized errata of Database(). Fragment bytes alias the file
 // buffer. Returns nil (a valid, always-missing Fragments) when the file
@@ -1101,44 +1272,58 @@ func (s *StoreV2) Fragments() (*Fragments, error) {
 			s.frErr = err
 			return
 		}
-		errata := db.Errata()
-		fr := &Fragments{
-			details:   make(map[*core.Erratum][]byte, len(errata)),
-			summaries: make(map[*core.Erratum][]byte, len(errata)),
-			keys:      make(map[string][]byte),
-		}
-		for i, e := range errata {
-			base := i * fragIdxSize
-			dOff, dLn := gu32(s.fragIdx, base), gu32(s.fragIdx, base+4)
-			sOff, sLn := gu32(s.fragIdx, base+8), gu32(s.fragIdx, base+12)
-			fr.details[e] = s.frags[dOff : dOff+dLn]
-			fr.summaries[e] = s.frags[sOff : sOff+sLn]
-			if e.Key != "" {
-				if _, ok := fr.keys[e.Key]; !ok {
-					kj, err := json.Marshal(e.Key)
-					if err != nil {
-						s.frErr = err
-						return
-					}
-					fr.keys[e.Key] = kj
-				}
-			}
-		}
-		s.fr = fr
+		s.fr, s.frErr = s.FragmentsFor(db.Errata())
 	})
 	return s.fr, s.frErr
+}
+
+// FragmentsFor returns the precomputed response fragments keyed by the
+// caller's erratum pointers, which must be in ordinal order — errata[i]
+// is the decode of record i. The lazy shard boot uses this: it decodes
+// each record once into its own pointers (never calling Database()), so
+// the pointer-keyed fragment maps must be built against those. Returns
+// nil when the file carries no fragments.
+func (s *StoreV2) FragmentsFor(errata []*core.Erratum) (*Fragments, error) {
+	if s.frags == nil {
+		return nil, nil
+	}
+	if len(errata) != s.nErr {
+		return nil, fmt.Errorf("store: v2: fragments keyed by %d errata, file holds %d", len(errata), s.nErr)
+	}
+	fr := &Fragments{
+		details:   make(map[*core.Erratum][]byte, len(errata)),
+		summaries: make(map[*core.Erratum][]byte, len(errata)),
+		keys:      make(map[string][]byte),
+	}
+	for i, e := range errata {
+		base := i * fragIdxSize
+		dOff, dLn := gu32(s.fragIdx, base), gu32(s.fragIdx, base+4)
+		sOff, sLn := gu32(s.fragIdx, base+8), gu32(s.fragIdx, base+12)
+		fr.details[e] = s.frags[dOff : dOff+dLn]
+		fr.summaries[e] = s.frags[sOff : sOff+sLn]
+		if e.Key != "" {
+			if _, ok := fr.keys[e.Key]; !ok {
+				kj, err := json.Marshal(e.Key)
+				if err != nil {
+					return nil, err
+				}
+				fr.keys[e.Key] = kj
+			}
+		}
+	}
+	return fr, nil
 }
 
 // DecodeAny deserializes a database from either format, sniffing the
 // FormatVersion 2 magic and falling back to the JSON FormatVersion 1
 // decoder.
+//
+// Deprecated: use OpenBytes (which also sniffs gzip) and call
+// Database() on the result.
 func DecodeAny(data []byte) (*core.Database, error) {
-	if IsV2(data) {
-		sv, err := OpenV2(data)
-		if err != nil {
-			return nil, err
-		}
-		return sv.Database()
+	r, err := OpenBytes(data)
+	if err != nil {
+		return nil, err
 	}
-	return Decode(data)
+	return r.Database()
 }

@@ -323,10 +323,12 @@ func TestSaveFormat(t *testing.T) {
 		t.Fatalf("Save(*.v2) did not write v2: %v", err)
 	}
 	check(suffixed)
-	if sv, err := Open(suffixed); err != nil {
+	if r, err := Open(suffixed); err != nil {
 		t.Fatal(err)
-	} else if !sv.HasPostings() || !sv.HasFragments() {
+	} else if sv := r.(*StoreV2); !sv.HasPostings() || !sv.HasFragments() {
 		t.Fatal("Save(*.v2) should embed postings and fragments")
+	} else if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
 	}
 
 	zipped := filepath.Join(dir, "db.v2.gz")

@@ -1,0 +1,19 @@
+//go:build !(linux || darwin)
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+var errNoMmap = errors.New("store: mmap is not supported on this platform")
+
+func mmapFile(f *os.File) ([]byte, func([]byte) error, error) {
+	return nil, nil, errNoMmap
+}
+
+func madviseRandom(b []byte) error   { return nil }
+func madviseDontNeed(b []byte) error { return nil }

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Region owns the byte range a StoreV2 decodes from and ties its
+// lifetime to a reference count. For a heap-resident store the region
+// is a plain slice and release is a no-op; for an mmap-backed store the
+// region wraps the mapping and the last Release runs munmap — after
+// which any read through a retained-too-late pointer would fault, which
+// is exactly why the serving layer's snapshot swap retains the region
+// before publishing a snapshot and releases it only after the snapshot
+// is unreachable. The refcount discipline:
+//
+//   - the opener holds the initial reference; Close (or Release)
+//     drops it
+//   - every other holder must pair a successful TryRetain with exactly
+//     one Release
+//   - TryRetain fails once the count has reached zero — the mapping is
+//     gone and can never be revived
+type Region struct {
+	data   []byte
+	munmap func([]byte) error
+	refs   atomic.Int64
+}
+
+// newHeapRegion wraps heap bytes in a region whose release never
+// invalidates anything. The count still runs so lifecycle tests can
+// exercise heap and mapped stores identically.
+func newHeapRegion(data []byte) *Region {
+	r := &Region{data: data}
+	r.refs.Store(1)
+	return r
+}
+
+// newMappedRegion wraps an mmap'ed range; munmap runs exactly once,
+// when the last reference is released.
+func newMappedRegion(data []byte, munmap func([]byte) error) *Region {
+	r := &Region{data: data, munmap: munmap}
+	r.refs.Store(1)
+	return r
+}
+
+// Bytes returns the region's byte range. Callers must hold a reference.
+func (r *Region) Bytes() []byte { return r.data }
+
+// Mapped reports whether the region is a file mapping (true) or heap
+// bytes (false).
+func (r *Region) Mapped() bool { return r != nil && r.munmap != nil }
+
+// Active reports whether the region still holds at least one reference.
+func (r *Region) Active() bool { return r != nil && r.refs.Load() > 0 }
+
+// TryRetain acquires an additional reference, failing if the region has
+// already been released for the last time. The CAS loop never
+// increments from zero: a region at zero is unmapped, permanently.
+func (r *Region) TryRetain() bool {
+	for {
+		n := r.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if r.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference; the last one unmaps. Releasing more
+// times than retained is a lifecycle bug and panics rather than
+// double-munmapping.
+func (r *Region) Release() error {
+	n := r.refs.Add(-1)
+	if n < 0 {
+		panic("store: Region released more times than retained")
+	}
+	if n > 0 || r.munmap == nil {
+		return nil
+	}
+	data := r.data
+	r.data = nil
+	if err := r.munmap(data); err != nil {
+		return fmt.Errorf("store: munmap: %w", err)
+	}
+	return nil
+}
+
+// DropResident advises the kernel to evict the region's resident pages
+// (madvise MADV_DONTNEED on a mapping; no-op on heap bytes). Reads stay
+// valid — pages fault back in from the file — so this only resets the
+// resident-set accounting; the RSS benchmark uses it to measure the
+// true working set of a point-lookup workload.
+func (r *Region) DropResident() error {
+	if !r.Mapped() || len(r.data) == 0 {
+		return nil
+	}
+	return madviseDontNeed(r.data)
+}

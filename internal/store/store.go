@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -133,8 +134,11 @@ func toItems(items []core.Item) []itDTO {
 	return out
 }
 
-// Decode deserializes a database and validates it against the base
-// taxonomy scheme.
+// Decode deserializes a FormatVersion 1 JSON database and validates it
+// against the base taxonomy scheme.
+//
+// Deprecated: use OpenBytes, which sniffs the format (and gzip) instead
+// of assuming v1 JSON, and call Database() on the result.
 func Decode(data []byte) (*core.Database, error) {
 	var f fileDTO
 	if err := json.Unmarshal(data, &f); err != nil {
@@ -256,54 +260,84 @@ func SaveFormat(db *core.Database, path, format string) error {
 			format = "v1"
 		}
 	}
-	var data []byte
-	var err error
+	var encode func(w io.Writer) error
 	switch format {
 	case "v2":
-		data, err = EncodeV2(db, V2Options{Postings: true, Fragments: true})
+		// Streamed: the encoder's section buffers are the only full copy
+		// in memory; header, directory and sections go straight to the
+		// temp file.
+		encode = func(w io.Writer) error {
+			return EncodeV2To(w, db, V2Options{Postings: true, Fragments: true})
+		}
 	case "v1":
-		data, err = Encode(db)
+		// v1 stays buffered — json.MarshalIndent has no streaming mode
+		// and the golden files pin its exact bytes.
+		encode = func(w io.Writer) error {
+			data, err := Encode(db)
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(data)
+			return err
+		}
 	default:
 		return fmt.Errorf("store: unknown format %q (want v1 or v2)", format)
 	}
+	return writeAtomicTo(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".gz") {
+			zw := gzip.NewWriter(w)
+			if err := encode(zw); err != nil {
+				return err
+			}
+			return zw.Close()
+		}
+		return encode(w)
+	})
+}
+
+// writeAtomicTo streams fill into a temp file in path's directory and
+// renames it over path, so readers — and a serving process re-opening
+// on SIGHUP — never observe a partially written database.
+func writeAtomicTo(path string, fill func(io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return err
 	}
-	if strings.HasSuffix(path, ".gz") {
-		var buf bytes.Buffer
-		zw := gzip.NewWriter(&buf)
-		if _, err := zw.Write(data); err != nil {
-			return err
-		}
-		if err := zw.Close(); err != nil {
-			return err
-		}
-		data = buf.Bytes()
+	name := f.Name()
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(name)
+		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	if err := f.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Chmod(name, 0o644); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }
 
 // Load reads a database from a file, transparently decompressing ".gz"
 // paths and sniffing the serialization format (FormatVersion 2 binary
 // or FormatVersion 1 JSON) from the content.
+//
+// Deprecated: use Open, which adds mmap-backed v2 access behind the
+// same sniffing, and call Database() on the result. Load always copies
+// the file into the heap (it never maps), so it cannot serve a corpus
+// larger than RAM.
 func Load(path string) (*core.Database, error) {
-	data, err := readMaybeGzip(path)
+	r, err := Open(path, WithMmap(false))
 	if err != nil {
 		return nil, err
 	}
-	return DecodeAny(data)
-}
-
-// Open opens a FormatVersion 2 file for zero-decode access: the
-// returned StoreV2 answers Database/IndexParts/Fragments straight from
-// the (validated) file bytes. ".gz" paths are decompressed first, which
-// forfeits the zero-copy property but keeps the format readable.
-func Open(path string) (*StoreV2, error) {
-	data, err := readMaybeGzip(path)
-	if err != nil {
-		return nil, err
-	}
-	return OpenV2(data)
+	return r.Database()
 }
 
 func readMaybeGzip(path string) ([]byte, error) {

@@ -1,18 +1,23 @@
 #!/bin/sh
-# Runs the store-format benchmarks — cold open v1 vs v2 and the serve
-# point-lookup hot path — and emits BENCH_store.json. Two acceptance
-# gates are enforced:
+# Runs the store-format benchmarks — cold open v1 vs v2, the serve
+# point-lookup hot path, and the mmap memory axis — and emits
+# BENCH_store.json. Three acceptance gates are enforced:
 #
 #   * cold open: FormatVersion 2 must open at least MIN_SPEEDUP (10x)
 #     faster than the FormatVersion 1 JSON decode+index+fragments path
 #   * allocations: the stitched /v1/errata/{key} path must stay at or
 #     under MAX_ALLOCS (2) allocs/op
+#   * memory: the steady-state resident set of a point-lookup workload
+#     over an mmap-opened corpus must stay at or under MAX_RSS_RATIO
+#     (0.5) of the v2 file size (TestPointLookupRSS; Linux only, the
+#     axis is skipped with a note elsewhere)
 #
 # Usage:
 #
 #   scripts/bench_store.sh              # 1 run per benchmark
 #   COUNT=5 scripts/bench_store.sh     # benchstat-grade sample count
 #   MIN_SPEEDUP=5 MAX_ALLOCS=4 ...     # relax the gates (debugging)
+#   RSS_MB=128 scripts/bench_store.sh  # size the RSS corpus (default 64)
 #
 # The raw `go test` output is echoed to stderr so it can be piped into
 # benchstat directly.
@@ -23,9 +28,12 @@ COUNT="${COUNT:-1}"
 OUT="${OUT:-BENCH_store.json}"
 MIN_SPEEDUP="${MIN_SPEEDUP:-10}"
 MAX_ALLOCS="${MAX_ALLOCS:-2}"
+MAX_RSS_RATIO="${MAX_RSS_RATIO:-0.5}"
+RSS_MB="${RSS_MB:-64}"
 
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+RSSRAW=$(mktemp)
+trap 'rm -f "$RAW" "$RSSRAW"' EXIT
 
 {
 	go test -run '^$' -bench '^BenchmarkColdOpenV1$|^BenchmarkColdOpenV2$|^BenchmarkEncodeV1$|^BenchmarkEncodeV2$' \
@@ -33,6 +41,18 @@ trap 'rm -f "$RAW"' EXIT
 	go test -run '^$' -bench '^BenchmarkServeErratumByKey$|^BenchmarkServeErrataPage$' \
 		-benchmem -count "$COUNT" ./internal/serve/
 } | tee /dev/stderr >"$RAW"
+
+# Memory axis: the test skips itself off Linux, leaving no rss-result
+# line; the gate then reports a note instead of failing.
+STORE_RSS=1 STORE_RSS_MB="$RSS_MB" \
+	go test -run '^TestPointLookupRSS$' -count=1 -v ./internal/store/ \
+	| tee /dev/stderr >"$RSSRAW" || true
+RSS_LINE=$(grep -o 'rss-result file_bytes=[0-9]* rss_bytes=[0-9]* ratio=[0-9.]*' "$RSSRAW" || true)
+if [ -n "$RSS_LINE" ]; then
+	FILE_BYTES=$(printf '%s' "$RSS_LINE" | sed 's/.*file_bytes=\([0-9]*\).*/\1/')
+	RSS_BYTES=$(printf '%s' "$RSS_LINE" | sed 's/.*rss_bytes=\([0-9]*\).*/\1/')
+	RSS_RATIO=$(printf '%s' "$RSS_LINE" | sed 's/.*ratio=\([0-9.]*\).*/\1/')
+fi
 
 # parse() reduces the raw output: fastest ns/op per benchmark across
 # -count runs, worst-case allocs/op, in first-seen order.
@@ -75,7 +95,12 @@ parse '
 		print ""
 	}' |
 	{
-		printf '{\n  "suite": "store-format",\n  "count": %s,\n  "benchmarks": [\n' "$COUNT"
+		printf '{\n  "suite": "store-format",\n  "count": %s,\n' "$COUNT"
+		if [ -n "$RSS_LINE" ]; then
+			printf '  "memory": {"workload": "mmap-point-lookup", "file_bytes": %s, "rss_bytes": %s, "rss_ratio": %s, "gate_max_ratio": %s},\n' \
+				"$FILE_BYTES" "$RSS_BYTES" "$RSS_RATIO" "$MAX_RSS_RATIO"
+		fi
+		printf '  "benchmarks": [\n'
 		cat
 		printf '  ]\n}\n'
 	} >"$OUT"
@@ -101,5 +126,17 @@ parse '
 			exit 1
 		}
 	}' >&2
+
+if [ -n "$RSS_LINE" ]; then
+	awk -v r="$RSS_RATIO" -v max="$MAX_RSS_RATIO" -v fb="$FILE_BYTES" -v rb="$RSS_BYTES" 'BEGIN {
+		printf "mmap point lookup: %.1f MiB resident of %.1f MiB file -> %.1f%%\n", rb / 1048576, fb / 1048576, r * 100
+		if (r + 0 > max + 0) {
+			printf "FAIL: point-lookup RSS ratio %.2f above the %.2f gate\n", r, max
+			exit 1
+		}
+	}' >&2
+else
+	echo "note: mmap RSS axis skipped (non-linux or mmap unsupported)" >&2
+fi
 
 echo "wrote $OUT" >&2

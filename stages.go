@@ -52,7 +52,11 @@ type pipeDB struct {
 
 func (p *pipeDB) database() (*core.Database, error) {
 	if p.db == nil {
-		db, err := store.DecodeAny(p.raw)
+		r, err := store.OpenBytes(p.raw)
+		if err != nil {
+			return nil, fmt.Errorf("rememberr: decode cached database artifact: %w", err)
+		}
+		db, err := r.Database()
 		if err != nil {
 			return nil, fmt.Errorf("rememberr: decode cached database artifact: %w", err)
 		}
@@ -100,7 +104,11 @@ func decodeGroundTruth(b []byte) (any, error) {
 	if err := json.Unmarshal(b, &a); err != nil {
 		return nil, err
 	}
-	db, err := store.DecodeAny(a.DB)
+	r, err := store.OpenBytes(a.DB)
+	if err != nil {
+		return nil, err
+	}
+	db, err := r.Database()
 	if err != nil {
 		return nil, err
 	}
