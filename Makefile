@@ -1,12 +1,21 @@
 GO ?= go
 
-.PHONY: build test race bench bench-classify bench-pipeline bench-serve bench-store check-metrics ingest-smoke fuzz-short cover
+.PHONY: build test race check arch bench bench-classify bench-pipeline bench-serve bench-store check-metrics ingest-smoke fuzz-short cover
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Architecture guards: hexagonal import rules and the exported pkg/
+# API snapshot, plus go vet (mirrors the CI `arch` job).
+arch:
+	$(GO) test ./internal/archtest/
+	$(GO) vet ./...
+
+# The local pre-push gate: build, architecture guards, full tests.
+check: build arch test
 
 race:
 	$(GO) test -race ./...

@@ -25,6 +25,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/textsim"
 	"repro/internal/timeline"
+	corpusprofile "repro/plugins/corpusprofile/intelamd"
 )
 
 // benchDB returns the shared built database (built once per process).
@@ -224,7 +225,7 @@ func BenchmarkPipelineDedup(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if res.UniqueIntel != corpus.TargetIntelUnique {
+		if res.UniqueIntel != corpusprofile.TargetIntelUnique {
 			b.Fatalf("unique = %d", res.UniqueIntel)
 		}
 	}
@@ -304,7 +305,7 @@ func BenchmarkPipelineDedupParallel(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if res.UniqueIntel != corpus.TargetIntelUnique {
+				if res.UniqueIntel != corpusprofile.TargetIntelUnique {
 					b.Fatalf("unique = %d", res.UniqueIntel)
 				}
 			}

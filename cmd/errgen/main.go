@@ -16,6 +16,9 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/specdoc"
 	"repro/internal/store"
+
+	// Wire the built-in rule pack and corpus profile as the defaults.
+	_ "repro/plugins/defaults"
 )
 
 func main() {

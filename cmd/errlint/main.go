@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -30,29 +31,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	var files []string
-	for _, arg := range flag.Args() {
-		info, err := os.Stat(arg)
-		if err != nil {
-			fatal(err)
-		}
-		if info.IsDir() {
-			entries, err := os.ReadDir(arg)
-			if err != nil {
-				fatal(err)
-			}
-			for _, e := range entries {
-				if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
-					files = append(files, filepath.Join(arg, e.Name()))
-				}
-			}
-		} else {
-			files = append(files, arg)
-		}
-	}
-	sort.Strings(files)
-	if len(files) == 0 {
-		fatal(fmt.Errorf("no .txt documents found"))
+	files, err := collectDocs(flag.Args())
+	if err != nil {
+		fatal(err)
 	}
 
 	var all []specdoc.Diagnostic
@@ -113,6 +94,41 @@ func main() {
 	for _, d := range all {
 		fmt.Println(" ", d)
 	}
+}
+
+// collectDocs resolves the command-line arguments to a sorted list of
+// document files: explicit file arguments are taken as-is, directory
+// arguments are walked recursively for .txt documents (errgen can lay
+// corpora out in per-vendor or per-document subdirectories).
+func collectDocs(args []string) ([]string, error) {
+	var files []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".txt") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .txt documents found")
+	}
+	return files, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCollectDocsRecursesDirectories builds a nested corpus layout and
+// checks that directory arguments are walked recursively, only .txt
+// files are picked up, explicit file arguments pass through untouched,
+// and the result is sorted.
+func TestCollectDocsRecursesDirectories(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(rel string) string {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	top := mk("top.txt")
+	intel := mk("intel/spec-update.txt")
+	deep := mk("intel/gen9/a.txt")
+	mk("intel/readme.md") // ignored: not .txt
+	amd := mk("amd/rev-guide.txt")
+	loose := mk("outside/loose.md") // explicit file arg, any extension
+
+	got, err := collectDocs([]string{dir, loose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{amd, deep, intel, loose, top}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("collectDocs = %v, want %v", got, want)
+	}
+}
+
+// TestCollectDocsErrors covers the empty-result and missing-path cases.
+func TestCollectDocsErrors(t *testing.T) {
+	if _, err := collectDocs([]string{t.TempDir()}); err == nil {
+		t.Error("empty directory: expected 'no .txt documents' error")
+	}
+	if _, err := collectDocs([]string{filepath.Join(t.TempDir(), "absent")}); err == nil {
+		t.Error("missing path: expected error")
+	}
+}

@@ -15,6 +15,9 @@ import (
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/taxonomy"
+
+	// Wire the built-in rule pack and corpus profile as the defaults.
+	_ "repro/plugins/defaults"
 )
 
 func main() {

@@ -8,10 +8,10 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
-	"repro/internal/corpus"
 	"repro/internal/heredity"
 	"repro/internal/report"
 	"repro/internal/timeline"
+	corpusprofile "repro/plugins/corpusprofile/intelamd"
 )
 
 // Check is one qualitative shape assertion of an experiment: does the
@@ -368,8 +368,8 @@ func (x *Experiments) Figure3() *Experiment {
 		check("AMD families share fewer errata than Intel generations",
 			amdSharedFrac < intelSharedFrac,
 			"shared fraction: AMD %.1f%% vs Intel %.1f%%", 100*amdSharedFrac, 100*intelSharedFrac),
-		check("104 bugs shared by gens 6-10", shared6to10 == corpus.SharedGens6To10, "got %d", shared6to10),
-		check("6 bugs from Core 1 to Core 10", core1to10 == corpus.LineagesCore1To10, "got %d", core1to10),
+		check("104 bugs shared by gens 6-10", shared6to10 == corpusprofile.SharedGens6To10, "got %d", shared6to10),
+		check("6 bugs from Core 1 to Core 10", core1to10 == corpusprofile.LineagesCore1To10, "got %d", core1to10),
 		check("longest lineage spans 10 generations", maxSpan >= 10, "span %d", maxSpan))
 	return ex
 }
@@ -401,7 +401,7 @@ func (x *Experiments) Figure4() *Experiment {
 	// O4: count shared bugs known in gen 6 before gen 7's release.
 	known := heredity.KnownBeforeNextRelease(x.db.core, keys, "intel-06", "intel-07")
 	ex.Checks = append(ex.Checks,
-		check("shared set has 104 bugs", len(keys) == corpus.SharedGens6To10, "got %d", len(keys)),
+		check("shared set has 104 bugs", len(keys) == corpusprofile.SharedGens6To10, "got %d", len(keys)),
 		check("most known before next release (O4)", known*2 > len(keys),
 			"%d/%d disclosed in gen 6 before gen 7's release", known, len(keys)))
 	return ex
@@ -469,9 +469,9 @@ func (x *Experiments) Figure6() *Experiment {
 	ex.Text = b.String()
 	ex.SVG = report.SVGBarChart("Suggested workarounds by category", svgBars, 0)
 	ex.Checks = append(ex.Checks,
-		check("Intel None ~35.9%", math.Abs(noneFrac[Intel]-corpus.NoWorkaroundFractionIntel) < 0.06,
+		check("Intel None ~35.9%", math.Abs(noneFrac[Intel]-corpusprofile.NoWorkaroundFractionIntel) < 0.06,
 			"got %.1f%%", 100*noneFrac[Intel]),
-		check("AMD None ~28.9%", math.Abs(noneFrac[AMD]-corpus.NoWorkaroundFractionAMD) < 0.06,
+		check("AMD None ~28.9%", math.Abs(noneFrac[AMD]-corpusprofile.NoWorkaroundFractionAMD) < 0.06,
 			"got %.1f%%", 100*noneFrac[AMD]))
 	return ex
 }
@@ -696,7 +696,7 @@ func (x *Experiments) Figure11() *Experiment {
 		fmt.Sprintf("excluded (trivial/no trigger): %d (%.1f%%)\nat least two triggers: %.1f%%\ncomplex-conditions mentions: %d\n",
 			tc.Excluded, 100*tc.ExcludedFraction(), 100*tc.AtLeastTwoFraction(), tc.Complex)
 	ex.Checks = append(ex.Checks,
-		check("~14.4% excluded", math.Abs(tc.ExcludedFraction()-corpus.TrivialTriggerFraction) < 0.04,
+		check("~14.4% excluded", math.Abs(tc.ExcludedFraction()-corpusprofile.TrivialTriggerFraction) < 0.04,
 			"got %.1f%%", 100*tc.ExcludedFraction()),
 		check("~49% need at least two triggers", math.Abs(tc.AtLeastTwoFraction()-0.49) < 0.07,
 			"got %.1f%%", 100*tc.AtLeastTwoFraction()))

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/taxonomy"
+	"repro/pkg/domain"
 )
 
 // Severity grades an erratum's worst-case impact. The paper argues for
@@ -54,7 +55,7 @@ var effectSeverity = map[string]Severity{
 
 // Grade returns the conservative (maximum) severity over an erratum's
 // effects.
-func Grade(e *core.Erratum, scheme *taxonomy.Scheme) Severity {
+func Grade(e *core.Erratum, scheme domain.Scheme) Severity {
 	max := SeverityUnknown
 	for _, it := range e.Ann.Effects {
 		if s := effectSeverity[scheme.ClassOf(it.Category)]; s > max {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/taxonomy"
+	"repro/pkg/domain"
 )
 
 // Truth supplies the ground-truth annotation for an erratum — the role
@@ -308,7 +309,7 @@ func truthConcrete(ann *core.Annotation, cat string) (string, bool) {
 // applyAnnotation writes the final (post-discussion) annotation of one
 // unique erratum: auto-included categories plus undecided categories
 // resolved to the truth.
-func applyAnnotation(e *core.Erratum, rep *classify.Report, truthAnn *core.Annotation, scheme *taxonomy.Scheme) {
+func applyAnnotation(e *core.Erratum, rep *classify.Report, truthAnn *core.Annotation, scheme domain.Scheme) {
 	var ann core.Annotation
 	add := func(cat, concrete string) {
 		c, ok := scheme.Category(cat)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dedup"
 	"repro/internal/specdoc"
 	"repro/internal/taxonomy"
+	corpusprofile "repro/plugins/corpusprofile/intelamd"
 )
 
 // buildPipelineDB runs generate -> render -> parse -> dedup and returns
@@ -95,8 +96,8 @@ func TestFullPipelineRecoversGroundTruth(t *testing.T) {
 		}
 		checked++
 	}
-	if checked != corpus.TargetUnique {
-		t.Errorf("checked %d unique errata, want %d", checked, corpus.TargetUnique)
+	if checked != corpusprofile.TargetUnique {
+		t.Errorf("checked %d unique errata, want %d", checked, corpusprofile.TargetUnique)
 	}
 
 	// The paper's simulation-only population: one Intel and five AMD
@@ -119,8 +120,8 @@ func TestFullPipelineRecoversGroundTruth(t *testing.T) {
 	// Decision volume: the filter must achieve a reduction comparable to
 	// the paper's (67,680 -> 2,064 per human, a factor ~33). Our corpus
 	// is calibrated to land in the same order of magnitude.
-	if res.FilterStats.RawDecisions != corpus.TargetUnique*60 {
-		t.Errorf("raw decisions = %d, want %d", res.FilterStats.RawDecisions, corpus.TargetUnique*60)
+	if res.FilterStats.RawDecisions != corpusprofile.TargetUnique*60 {
+		t.Errorf("raw decisions = %d, want %d", res.FilterStats.RawDecisions, corpusprofile.TargetUnique*60)
 	}
 	if res.HumanDecisions < 800 || res.HumanDecisions > 4500 {
 		t.Errorf("human decisions = %d, want within [800,4500] (paper: 2,064)", res.HumanDecisions)
@@ -154,8 +155,8 @@ func TestProtocolSteps(t *testing.T) {
 			t.Errorf("step %d agreement = %.1f%%, want >= 75%%", s.Step, s.AgreementPct)
 		}
 	}
-	if cum != corpus.TargetUnique {
-		t.Errorf("cumulative errata = %d, want %d", cum, corpus.TargetUnique)
+	if cum != corpusprofile.TargetUnique {
+		t.Errorf("cumulative errata = %d, want %d", cum, corpusprofile.TargetUnique)
 	}
 	// Agreement improves from the first to the last step.
 	first, last := res.Steps[0], res.Steps[len(res.Steps)-1]
@@ -206,7 +207,7 @@ func TestRunWithoutTruthResolvesToExclude(t *testing.T) {
 			annotated++
 		}
 	}
-	if annotated < corpus.TargetUnique/2 {
+	if annotated < corpusprofile.TargetUnique/2 {
 		t.Errorf("only %d errata annotated without truth", annotated)
 	}
 }

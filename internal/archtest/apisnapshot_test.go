@@ -1,0 +1,156 @@
+package archtest
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the API snapshot")
+
+// TestExportedAPISnapshot pins the exported surface of every pkg/
+// package against a golden file. Plugins and external consumers build
+// against these identifiers; any addition, removal or signature change
+// must be deliberate — regenerate with -update and review the diff,
+// and remember that a breaking change to pkg/pluginapi types requires
+// an APIVersion bump.
+func TestExportedAPISnapshot(t *testing.T) {
+	root := repoRoot(t)
+	var lines []string
+	for _, rel := range sourceFiles(t, root, "pkg") {
+		pkgDir := filepath.ToSlash(filepath.Dir(rel))
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, filepath.Join(root, rel), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			lines = append(lines, declLines(t, fset, pkgDir, decl)...)
+		}
+	}
+	sort.Strings(lines)
+	got := strings.Join(lines, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "api.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exported pkg/ API differs from %s; run with -update only for a deliberate API change.\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// declLines renders the exported surface of one top-level declaration,
+// one line per identifier, prefixed with the package directory.
+func declLines(t *testing.T, fset *token.FileSet, pkgDir string, decl ast.Decl) []string {
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, pkgDir+": "+fmt.Sprintf(format, args...))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && !ast.IsExported(receiverTypeName(d.Recv)) {
+			return nil
+		}
+		d.Body = nil
+		add("%s", render(t, fset, d))
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				stripUnexported(s.Type)
+				add("type %s", render(t, fset, s))
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if name.IsExported() {
+						add("%s %s", strings.ToLower(d.Tok.String()), name.Name)
+					}
+				}
+			}
+		}
+	}
+	return lines
+}
+
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	expr := recv.List[0].Type
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// stripUnexported drops unexported fields from struct types and
+// unexported methods from interface types, in place, so the snapshot
+// pins only the public surface.
+func stripUnexported(expr ast.Expr) {
+	fields := func(list *ast.FieldList) {
+		if list == nil {
+			return
+		}
+		kept := list.List[:0]
+		for _, f := range list.List {
+			if len(f.Names) == 0 {
+				kept = append(kept, f) // embedded: the type name decides visibility
+				continue
+			}
+			names := f.Names[:0]
+			for _, n := range f.Names {
+				if n.IsExported() {
+					names = append(names, n)
+				}
+			}
+			if len(names) > 0 {
+				f.Names = names
+				kept = append(kept, f)
+			}
+		}
+		list.List = kept
+	}
+	switch typ := expr.(type) {
+	case *ast.StructType:
+		fields(typ.Fields)
+	case *ast.InterfaceType:
+		fields(typ.Methods)
+	}
+}
+
+// render prints a node on a single line with whitespace runs collapsed.
+func render(t *testing.T, fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

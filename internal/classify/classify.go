@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/taxonomy"
+	"repro/pkg/domain"
 )
 
 // Decision is the outcome of the conservative auto-filter for one
@@ -88,7 +89,7 @@ type Report struct {
 
 // UndecidedPairs returns the categories requiring human decisions, in
 // scheme order.
-func (r *Report) UndecidedPairs(scheme *taxonomy.Scheme) []string {
+func (r *Report) UndecidedPairs(scheme domain.Scheme) []string {
 	var out []string
 	for cat, d := range r.Decisions {
 		if d == Undecided {
@@ -100,7 +101,7 @@ func (r *Report) UndecidedPairs(scheme *taxonomy.Scheme) []string {
 
 // IncludedCategories returns the auto-included categories in scheme
 // order.
-func (r *Report) IncludedCategories(scheme *taxonomy.Scheme) []string {
+func (r *Report) IncludedCategories(scheme domain.Scheme) []string {
 	var out []string
 	for cat, d := range r.Decisions {
 		if d == Include {

@@ -107,7 +107,8 @@ func TestKernelEquivalenceAcrossSeeds(t *testing.T) {
 // literal, update the expectation here — correctness does not depend on
 // it, only the kernel's pruning power.
 func TestKernelBasePatternsAllPrefiltered(t *testing.T) {
-	for kind, kk := range baseKernels {
+	_, kernels := baseCompiled()
+	for kind, kk := range kernels {
 		st := kk.kernel.Stats()
 		if st.AlwaysRun != 0 {
 			t.Errorf("%v: %d of %d patterns have no literal and always run", kind, st.AlwaysRun, st.Patterns)

@@ -1,0 +1,5 @@
+package classify
+
+// The test binary is its own composition root: generating corpora and
+// compiling classifier engines requires the default plugins.
+import _ "repro/plugins/defaults"

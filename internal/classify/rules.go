@@ -12,11 +12,14 @@
 package classify
 
 import (
+	"fmt"
 	"regexp"
 	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/taxonomy"
+	"repro/pkg/domain"
+	"repro/pkg/pluginapi"
 )
 
 // rule holds the compiled patterns of one abstract category.
@@ -37,249 +40,89 @@ type ruleSpec struct {
 	weak     []string
 }
 
-func re(parts []string) []*regexp.Regexp {
+func re(parts []string) ([]*regexp.Regexp, error) {
 	out := make([]*regexp.Regexp, len(parts))
 	for i, p := range parts {
-		out[i] = regexp.MustCompile(`(?i)` + p)
-	}
-	return out
-}
-
-// triggerRules transcribes the trigger categories of Table IV into
-// regex rules over trigger clauses.
-var triggerRules = []ruleSpec{
-	{"Trg_MBR_cbr",
-		[]string{`cache line boundary`},
-		[]string{`\bstraddles\b`, `\bunaligned\b`}},
-	{"Trg_MBR_pgb",
-		[]string{`page boundary`},
-		[]string{`\bstraddles\b`, `two pages`}},
-	{"Trg_MBR_mbr",
-		[]string{`\bcanonical\b`, `memory map boundary`},
-		[]string{`\bwraps\b`, `memory map`}},
-	{"Trg_MOP_mmp",
-		[]string{`memory-mapped`},
-		[]string{`\bmapped\b`, `\baccess\b`}},
-	{"Trg_MOP_atp",
-		[]string{`\batomic\b`, `\btransactional\b`},
-		[]string{`\blocked\b`, `read-modify-write`}},
-	{"Trg_MOP_fen",
-		[]string{`memory fence`, `serializing instruction`, `\bmfence\b`},
-		[]string{`\bfence\b`}},
-	{"Trg_MOP_seg",
-		[]string{`\bsegment\b`},
-		nil},
-	{"Trg_MOP_ptw",
-		[]string{`table walk`},
-		[]string{`\bwalk\b`}},
-	{"Trg_MOP_nst",
-		[]string{`\bnested\b`},
-		nil},
-	{"Trg_MOP_flc",
-		[]string{`flush instruction`, `flushed by an invalidation`},
-		[]string{`\bflush`}},
-	{"Trg_MOP_spe",
-		[]string{`\bspeculat`},
-		nil},
-	{"Trg_FLT_ovf",
-		[]string{`\boverflow`},
-		nil},
-	{"Trg_FLT_tmr",
-		[]string{`\btimer\b`},
-		nil},
-	{"Trg_FLT_mca",
-		[]string{`machine check exception is being delivered`, `machine check event is logged`},
-		[]string{`\bmca\b`, `machine check`}},
-	{"Trg_FLT_ill",
-		[]string{`illegal instruction`, `undefined opcode`, `invalid instruction`},
-		nil},
-	{"Trg_PRV_ret",
-		[]string{`\brsm\b`, `return from smm`},
-		[]string{`resumes from`, `\bmanagement\b`}},
-	{"Trg_PRV_vmt",
-		[]string{`vm entry`, `vm exit`, `from hypervisor to guest`, `world switch`},
-		[]string{`\bguest\b`, `\bhypervisor\b`}},
-	{"Trg_CFG_pag",
-		[]string{`paging mode`, `paging structure entry`, `paging mechanism`},
-		[]string{`\bcr0\b`, `\bcr4\b`, `\bpaging\b`}},
-	{"Trg_CFG_vmc",
-		[]string{`\bvmcs\b`, `virtual machine control structure`, `virtualization control`},
-		[]string{`\bvirtual machine\b`}},
-	{"Trg_CFG_wrg",
-		[]string{`\bwrmsr\b`, `model specific register with`, `msr write`},
-		[]string{`configuration register`, `\bconfiguration\b`}},
-	{"Trg_POW_pwc",
-		[]string{`c6 power state`, `package power states`, `c-state`},
-		[]string{`power state`, `\bpower\b`}},
-	{"Trg_POW_tht",
-		[]string{`\bthrottl`, `power supply conditions`, `thermal event`},
-		[]string{`\bthermal\b`, `operating conditions`, `\bpower\b`}},
-	{"Trg_EXT_rst",
-		[]string{`\breset\b`},
-		nil},
-	{"Trg_EXT_pci",
-		[]string{`\bpcie\b`, `pci express`},
-		[]string{`peer-to-peer`, `\blink\b`}},
-	{"Trg_EXT_usb",
-		[]string{`\busb\b`, `\bxhci\b`},
-		nil},
-	{"Trg_EXT_ram",
-		[]string{`dram configuration`, `ddr interface operates`},
-		[]string{`\bdram\b`, `\bddr\b`, `memory is configured`}},
-	{"Trg_EXT_iom",
-		[]string{`\biommu\b`, `dma remapping`},
-		[]string{`\bdevice\b`}},
-	{"Trg_EXT_bus",
-		[]string{`\bhypertransport\b`, `\bqpi\b`, `system bus`},
-		[]string{`\bsnoop\b`}},
-	{"Trg_FEA_fpu",
-		[]string{`\bx87\b`, `\bfsave\b`, `floating-point`},
-		nil},
-	{"Trg_FEA_dbg",
-		[]string{`\bbreakpoint\b`, `single-stepping`, `\bdebug\b`},
-		[]string{`trap flag`}},
-	{"Trg_FEA_cid",
-		[]string{`\bcpuid\b`, `design identification`},
-		nil},
-	{"Trg_FEA_mon",
-		[]string{`\bmonitor/mwait\b`, `monitored address`, `\bmwait\b`},
-		nil},
-	{"Trg_FEA_tra",
-		[]string{`\btrace\b`, `\btracing\b`},
-		nil},
-	{"Trg_FEA_cus",
-		[]string{`\bsse\b`, `\bmmx\b`},
-		[]string{`extension feature`, `custom feature`, `specific feature`, `feature sequence`}},
-}
-
-// contextRules transcribes Table V over context clauses.
-var contextRules = []ruleSpec{
-	{"Ctx_PRV_boo",
-		[]string{`\bbooting\b`, `\bbios\b`, `\buefi\b`, `\bfirmware\b`},
-		nil},
-	{"Ctx_PRV_vmg",
-		[]string{`\bguest\b`},
-		nil},
-	{"Ctx_PRV_rea",
-		[]string{`real-address mode`, `real mode`, `real-mode`, `virtual-8086`},
-		nil},
-	{"Ctx_PRV_vmh",
-		[]string{`\bhypervisor\b`, `vmx root`, `host mode`},
-		[]string{`virtual machine`}},
-	{"Ctx_PRV_smm",
-		[]string{`system management mode`, `\bsmm\b`, `management mode`},
-		[]string{`\bmode\b`}},
-	{"Ctx_FEA_sec",
-		[]string{`\bsgx\b`, `\bsvm\b`, `\bsecurity\b`, `secure enclave`},
-		nil},
-	{"Ctx_FEA_sgc",
-		[]string{`single-core`, `one core`, `single active core`},
-		nil},
-	{"Ctx_PHY_pkg",
-		[]string{`\bpackage\b`, `ball-out`},
-		nil},
-	{"Ctx_PHY_tmp",
-		[]string{`\btemperature\b`},
-		nil},
-	{"Ctx_PHY_vol",
-		[]string{`\bvoltage\b`},
-		nil},
-}
-
-// effectRules transcribes Table VI over effect clauses.
-var effectRules = []ruleSpec{
-	{"Eff_HNG_unp",
-		[]string{`\bunpredictable\b`, `behave unexpectedly`, `results of the operation may be incorrect`},
-		[]string{`\bincorrect\b`, `\bunexpected`, `system may`}},
-	{"Eff_HNG_hng",
-		[]string{`\bhang\b`, `stop responding`},
-		nil},
-	{"Eff_HNG_crh",
-		[]string{`\bcrash\b`, `\bunrecoverable\b`, `go down`},
-		[]string{`may fail`}},
-	{"Eff_HNG_boo",
-		[]string{`\bboot\b`, `\bpost\b`},
-		nil},
-	{"Eff_FLT_mca",
-		[]string{`machine check exception may be signaled`, `mca error may be reported`, `machine check architecture`},
-		[]string{`machine check`}},
-	{"Eff_FLT_unc",
-		[]string{`\buncorrectable\b`, `\buncorrected\b`},
-		nil},
-	{"Eff_FLT_fsp",
-		[]string{`\bspurious\b`, `unexpected exception`},
-		[]string{`\bfaults?\b`}},
-	{"Eff_FLT_fms",
-		[]string{`fault may be missing`, `may not be delivered`, `may be suppressed`},
-		[]string{`\bmissing\b`}},
-	{"Eff_FLT_fid",
-		[]string{`wrong error code`, `fault identifier`, `wrong order`},
-		[]string{`\bordering\b`}},
-	{"Eff_CRP_prf",
-		[]string{`performance counter`, `performance monitoring`},
-		[]string{`counter value`}},
-	{"Eff_CRP_reg",
-		[]string{`msr may contain`, `model specific register may be corrupted`},
-		[]string{`register state`, `wrong value`, `\bregister\b`}},
-	{"Eff_EXT_pci",
-		[]string{`malformed transactions`, `pcie link`, `protocol violations`},
-		[]string{`\bpcie\b`}},
-	{"Eff_EXT_usb",
-		[]string{`\busb\b`},
-		nil},
-	{"Eff_EXT_mmd",
-		[]string{`\baudio\b`, `\bgraphics\b`, `display artifacts`, `\bmultimedia\b`},
-		nil},
-	{"Eff_EXT_ram",
-		[]string{`dram interactions`, `memory training`, `ddr interface may`},
-		[]string{`\bdram\b`, `\bddr\b`}},
-	{"Eff_EXT_pow",
-		[]string{`power consumption`, `excessive power`},
-		[]string{`\bpower\b`}},
-}
-
-// baseSpecs maps each kind to its rule specifications.
-var baseSpecs = map[taxonomy.Kind][]ruleSpec{
-	taxonomy.Trigger: triggerRules,
-	taxonomy.Context: contextRules,
-	taxonomy.Effect:  effectRules,
-}
-
-// baseRules holds the compiled base rule set, shared by every engine:
-// constructing an engine must not recompile the ~200 base patterns.
-// The slices and regexes are immutable after package initialization.
-var baseRules = func() map[taxonomy.Kind][]rule {
-	scheme := taxonomy.Base()
-	rules := make(map[taxonomy.Kind][]rule, len(baseSpecs))
-	for kind, specs := range baseSpecs {
-		for _, s := range specs {
-			if _, ok := scheme.Category(s.category); !ok {
-				panic("classify: rule for unknown category " + s.category)
-			}
-			rules[kind] = append(rules[kind], rule{
-				category: s.category,
-				kind:     kind,
-				strong:   re(s.strong),
-				weak:     re(s.weak),
-			})
+		rx, err := regexp.Compile(`(?i)` + p)
+		if err != nil {
+			return nil, err
 		}
+		out[i] = rx
 	}
-	return rules
-}()
+	return out, nil
+}
 
-// baseKernels holds the multi-pattern matching kernels, one per kind,
-// built once over the compiled base rules (see kernel.go).
-var baseKernels = func() map[taxonomy.Kind]*kindKernel {
-	kernels := make(map[taxonomy.Kind]*kindKernel, len(baseSpecs))
-	for kind, specs := range baseSpecs {
-		kernels[kind] = buildKindKernel(baseRules[kind], specs)
+// defaultRules lazily compiles the default rule pack of the plugin
+// registry, shared by every engine: constructing an engine must not
+// recompile the ~200 base patterns. The compiled rules and kernels are
+// immutable after the first use. Resolution is lazy — at first engine
+// construction, not package initialization — so it cannot race the
+// init-time plugin registration of the composition root.
+var defaultRules struct {
+	once    sync.Once
+	rules   map[taxonomy.Kind][]rule
+	kernels map[taxonomy.Kind]*kindKernel
+	err     error
+}
+
+func baseCompiled() (map[taxonomy.Kind][]rule, map[taxonomy.Kind]*kindKernel) {
+	defaultRules.once.Do(func() {
+		pack, err := pluginapi.DefaultRulePack()
+		if err != nil {
+			defaultRules.err = fmt.Errorf("classify: %w", err)
+			return
+		}
+		defaultRules.rules, defaultRules.kernels, defaultRules.err =
+			compileRules(pack, taxonomy.Base())
+	})
+	if defaultRules.err != nil {
+		panic(defaultRules.err)
 	}
-	return kernels
-}()
+	return defaultRules.rules, defaultRules.kernels
+}
+
+// compileRules compiles a rule pack against a taxonomy scheme: every
+// category must exist in the scheme and every pattern must be a valid
+// regex. Rule order within a kind is preserved, so matched categories
+// keep the pack's reporting order, and the multi-pattern kernels (see
+// kernel.go) are built once per kind over the compiled rules.
+func compileRules(pack pluginapi.RulePack, scheme domain.Scheme) (map[taxonomy.Kind][]rule, map[taxonomy.Kind]*kindKernel, error) {
+	name := pack.Info().Name
+	specs := make(map[taxonomy.Kind][]ruleSpec)
+	rules := make(map[taxonomy.Kind][]rule)
+	for _, s := range pack.Rules() {
+		if int(s.Kind) < 0 || int(s.Kind) >= numKinds {
+			return nil, nil, fmt.Errorf("classify: rule pack %q: rule %s has unknown kind %d", name, s.Category, int(s.Kind))
+		}
+		if _, ok := scheme.Category(s.Category); !ok {
+			return nil, nil, fmt.Errorf("classify: rule pack %q: rule for unknown category %s", name, s.Category)
+		}
+		strong, err := re(s.Strong)
+		if err != nil {
+			return nil, nil, fmt.Errorf("classify: rule pack %q: category %s: %w", name, s.Category, err)
+		}
+		weak, err := re(s.Weak)
+		if err != nil {
+			return nil, nil, fmt.Errorf("classify: rule pack %q: category %s: %w", name, s.Category, err)
+		}
+		specs[s.Kind] = append(specs[s.Kind], ruleSpec{category: s.Category, strong: s.Strong, weak: s.Weak})
+		rules[s.Kind] = append(rules[s.Kind], rule{
+			category: s.Category,
+			kind:     s.Kind,
+			strong:   strong,
+			weak:     weak,
+		})
+	}
+	kernels := make(map[taxonomy.Kind]*kindKernel, len(specs))
+	for kind, sp := range specs {
+		kernels[kind] = buildKindKernel(rules[kind], sp)
+	}
+	return rules, kernels, nil
+}
 
 // Engine is a compiled rule engine over a taxonomy scheme.
 type Engine struct {
-	scheme  *taxonomy.Scheme
+	scheme  domain.Scheme
 	rules   map[taxonomy.Kind][]rule
 	kernels map[taxonomy.Kind]*kindKernel
 	// catIDs caches the scheme's category ids so report initialization
@@ -325,13 +168,34 @@ func NewEngine() *Engine {
 	return NewEngineConfig(Config{Prefilter: true, Memo: true})
 }
 
-// NewEngineConfig returns an engine over the base rule set with the
-// given matching strategy. Engines are safe for concurrent use.
+// NewEngineConfig returns an engine over the default rule pack of the
+// plugin registry with the given matching strategy. It panics when no
+// default pack is registered (import repro/plugins/defaults) or the
+// pack does not compile. Engines are safe for concurrent use.
 func NewEngineConfig(cfg Config) *Engine {
+	rules, kernels := baseCompiled()
+	return newEngine(taxonomy.Base(), rules, kernels, cfg)
+}
+
+// NewEngineFor compiles an engine over an explicit rule pack and
+// scheme, for callers that select plugins by name instead of using the
+// registry default. A nil scheme selects the base taxonomy.
+func NewEngineFor(pack pluginapi.RulePack, scheme domain.Scheme, cfg Config) (*Engine, error) {
+	if scheme == nil {
+		scheme = taxonomy.Base()
+	}
+	rules, kernels, err := compileRules(pack, scheme)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(scheme, rules, kernels, cfg), nil
+}
+
+func newEngine(scheme domain.Scheme, rules map[taxonomy.Kind][]rule, kernels map[taxonomy.Kind]*kindKernel, cfg Config) *Engine {
 	e := &Engine{
-		scheme:  taxonomy.Base(),
-		rules:   baseRules,
-		kernels: baseKernels,
+		scheme:  scheme,
+		rules:   rules,
+		kernels: kernels,
 		cfg:     cfg,
 	}
 	for _, cat := range e.scheme.AllCategories() {
@@ -367,7 +231,7 @@ func NewEngineConfig(cfg Config) *Engine {
 }
 
 // Scheme returns the scheme the engine classifies against.
-func (e *Engine) Scheme() *taxonomy.Scheme { return e.scheme }
+func (e *Engine) Scheme() domain.Scheme { return e.scheme }
 
 // matchSegment evaluates every rule of a kind against one text segment
 // and reports the strongly and weakly matched categories. The returned

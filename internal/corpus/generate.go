@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/taxonomy"
 	"repro/internal/textsim"
+	"repro/pkg/pluginapi"
 )
 
 // EntryRef identifies one erratum entry unambiguously even when a
@@ -79,22 +80,39 @@ type lineageText struct {
 
 type generator struct {
 	rng      *rand.Rand
+	spec     pluginapi.CorpusSpec
 	profiles map[string]DocProfile
 	seen     map[string]bool // normalized titles, for global uniqueness
 }
 
-// Generate produces the synthetic corpus for the given seed. The result
-// is deterministic per seed.
+// Generate produces the synthetic corpus for the given seed using the
+// default corpus profile of the plugin registry. It fails when no
+// default profile is registered (import repro/plugins/defaults). The
+// result is deterministic per seed.
 func Generate(seed int64) (*GroundTruth, error) {
+	spec, err := defaultSpec()
+	if err != nil {
+		return nil, err
+	}
+	return GenerateWith(spec, seed)
+}
+
+// GenerateWith produces the synthetic corpus for an explicit profile
+// spec. Custom profiles with Calibration.SharedGens6To10 > 0 must
+// include the Intel Table III document keys the pinned shared lineages
+// span; setting it (and LineagesCore1To10) to zero disables those
+// lineages. The result is deterministic per (spec, seed).
+func GenerateWith(spec pluginapi.CorpusSpec, seed int64) (*GroundTruth, error) {
 	g := &generator{
 		rng:      rand.New(rand.NewSource(seed)),
+		spec:     spec,
 		profiles: make(map[string]DocProfile),
 		seen:     make(map[string]bool),
 	}
-	for _, p := range IntelProfiles {
+	for _, p := range spec.IntelDocs {
 		g.profiles[p.Key] = p
 	}
-	for _, p := range AMDProfiles {
+	for _, p := range spec.AMDDocs {
 		g.profiles[p.Key] = p
 	}
 
@@ -105,11 +123,11 @@ func Generate(seed int64) (*GroundTruth, error) {
 		"intel-01d": 2, "intel-02d": 2, "intel-03m": 2,
 		"intel-04m": 2, "intel-06": 2, "intel-08": 1,
 	}
-	linI, err := planIntel(intraDup)
+	linI, err := planIntel(spec, intraDup)
 	if err != nil {
 		return nil, err
 	}
-	linA, err := planAMD(nil)
+	linA, err := planAMD(spec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -220,8 +238,11 @@ func Generate(seed int64) (*GroundTruth, error) {
 
 	// Withdrawn errata: about 2% of entries are listed in the summary of
 	// changes with their details removed (Section VII). Intel only.
-	for _, p := range IntelProfiles {
+	for _, p := range spec.IntelDocs {
 		doc := gt.DB.Docs[p.Key]
+		if doc == nil {
+			continue
+		}
 		n := p.Count / 50
 		if n < 1 {
 			n = 1
@@ -289,30 +310,30 @@ func monthsBetween(a, b time.Time) int {
 
 // pickWeighted samples an identifier from a weighted table, with
 // optional per-identifier multipliers.
-func (g *generator) pickWeighted(table []weighted, mult func(string) float64) string {
+func (g *generator) pickWeighted(table []pluginapi.Weighted, mult func(string) float64) string {
 	total := 0.0
 	for _, w := range table {
-		f := w.w
+		f := w.Weight
 		if mult != nil {
-			f *= mult(w.id)
+			f *= mult(w.ID)
 		}
 		total += f
 	}
 	x := g.rng.Float64() * total
 	for _, w := range table {
-		f := w.w
+		f := w.Weight
 		if mult != nil {
-			f *= mult(w.id)
+			f *= mult(w.ID)
 		}
 		x -= f
 		if x < 0 {
-			return w.id
+			return w.ID
 		}
 	}
-	return table[len(table)-1].id
+	return table[len(table)-1].ID
 }
 
-func (g *generator) pickInt(table []weighted) int {
+func (g *generator) pickInt(table []pluginapi.Weighted) int {
 	id := g.pickWeighted(table, nil)
 	n := 0
 	fmt.Sscanf(id, "%d", &n)
@@ -342,11 +363,11 @@ func (g *generator) sampleAnnotation(intel bool, l *Lineage) core.Annotation {
 
 	vendorMult := func(id string) float64 {
 		f := 1.0
-		if b, ok := vendorTriggerBias[id]; ok {
+		if b, ok := g.spec.VendorTriggerBias[id]; ok {
 			if intel {
-				f *= b.intel
+				f *= b.Intel
 			} else {
-				f *= b.amd
+				f *= b.AMD
 			}
 		}
 		if banMBR && strings.HasPrefix(id, "Trg_MBR") {
@@ -360,10 +381,10 @@ func (g *generator) sampleAnnotation(intel bool, l *Lineage) core.Annotation {
 		return f
 	}
 
-	if g.rng.Float64() < TrivialTriggerFraction {
+	if g.rng.Float64() < g.spec.Calibration.TrivialTriggerFraction {
 		ann.TrivialTrigger = true
 	} else {
-		n := g.pickInt(triggerCountWeights)
+		n := g.pickInt(g.spec.TriggerCountWeights)
 		chosen := make(map[string]bool)
 		var first string
 		for len(ann.Triggers) < n {
@@ -373,16 +394,16 @@ func (g *generator) sampleAnnotation(intel bool, l *Lineage) core.Annotation {
 				}
 				f := vendorMult(id)
 				if first != "" {
-					if b, ok := triggerPairBoost[[2]string{first, id}]; ok {
+					if b, ok := g.spec.TriggerPairBoost[[2]string{first, id}]; ok {
 						f *= b
 					}
-					if b, ok := triggerPairBoost[[2]string{id, first}]; ok {
+					if b, ok := g.spec.TriggerPairBoost[[2]string{id, first}]; ok {
 						f *= b
 					}
 				}
 				return f
 			}
-			id := g.pickWeighted(triggerWeights, mult)
+			id := g.pickWeighted(g.spec.TriggerWeights, mult)
 			if chosen[id] {
 				continue // all remaining weights may be zero; retry caps below
 			}
@@ -398,10 +419,10 @@ func (g *generator) sampleAnnotation(intel bool, l *Lineage) core.Annotation {
 		}
 	}
 
-	nCtx := g.pickInt(contextCountWeights)
+	nCtx := g.pickInt(g.spec.ContextCountWeights)
 	chosenCtx := make(map[string]bool)
 	for len(ann.Contexts) < nCtx {
-		id := g.pickWeighted(contextWeights, func(id string) float64 {
+		id := g.pickWeighted(g.spec.ContextWeights, func(id string) float64 {
 			if chosenCtx[id] {
 				return 0
 			}
@@ -417,10 +438,10 @@ func (g *generator) sampleAnnotation(intel bool, l *Lineage) core.Annotation {
 		})
 	}
 
-	nEff := g.pickInt(effectCountWeights)
+	nEff := g.pickInt(g.spec.EffectCountWeights)
 	chosenEff := make(map[string]bool)
 	for len(ann.Effects) < nEff {
-		id := g.pickWeighted(effectWeights, func(id string) float64 {
+		id := g.pickWeighted(g.spec.EffectWeights, func(id string) float64 {
 			if chosenEff[id] {
 				return 0
 			}
@@ -437,9 +458,9 @@ func (g *generator) sampleAnnotation(intel bool, l *Lineage) core.Annotation {
 	}
 
 	// Complex-set-of-conditions marker (8.7% Intel, 20.8% AMD).
-	p := ComplexConditionFractionIntel
+	p := g.spec.Calibration.ComplexConditionFractionIntel
 	if !intel {
-		p = ComplexConditionFractionAMD
+		p = g.spec.Calibration.ComplexConditionFractionAMD
 	}
 	if g.rng.Float64() < p {
 		ann.ComplexConditions = true
@@ -447,9 +468,9 @@ func (g *generator) sampleAnnotation(intel bool, l *Lineage) core.Annotation {
 
 	// Observable MSRs for register-visible effects (Figure 19).
 	if annHasAny(&ann, "Eff_CRP_reg", "Eff_CRP_prf", "Eff_FLT_mca", "Eff_FLT_unc") {
-		table := msrWeights
+		table := g.spec.MSRWeights
 		if !intel {
-			table = amdMSRWeights
+			table = g.spec.AMDMSRWeights
 		}
 		msr := g.pickWeighted(table, nil)
 		ann.MSRs = append(ann.MSRs, msr)
@@ -786,9 +807,9 @@ func vendorOf(p DocProfile) core.Vendor {
 }
 
 func (g *generator) orderOf(p DocProfile) int {
-	list := AMDProfiles
+	list := g.spec.AMDDocs
 	if p.Intel {
-		list = IntelProfiles
+		list = g.spec.IntelDocs
 	}
 	for i := range list {
 		if list[i].Key == p.Key {
@@ -818,9 +839,9 @@ func revisionFor(revisions []core.Revision, date time.Time) int {
 
 // sampleWorkaroundCat draws a workaround category per Figure 6.
 func (g *generator) sampleWorkaroundCat(v core.Vendor) core.WorkaroundCategory {
-	table := workaroundWeightsIntel
+	table := g.spec.WorkaroundWeightsIntel
 	if v == core.AMD {
-		table = workaroundWeightsAMD
+		table = g.spec.WorkaroundWeightsAMD
 	}
 	id := g.pickWeighted(table, nil)
 	cat, err := core.ParseWorkaroundCategory(id)
@@ -842,7 +863,7 @@ func (g *generator) sampleFix(v core.Vendor, genIndex int) core.FixStatus {
 		}
 		return 1
 	}
-	id := g.pickWeighted(fixWeights, mult)
+	id := g.pickWeighted(g.spec.FixWeights, mult)
 	st, err := core.ParseFixStatus(id)
 	if err != nil {
 		return core.FixNone
@@ -860,6 +881,9 @@ func (g *generator) injectIntraDocDuplicates(gt *GroundTruth, reserve map[string
 	sort.Strings(keys)
 	for _, dk := range keys {
 		doc := gt.DB.Docs[dk]
+		if doc == nil || len(doc.Errata) == 0 {
+			continue
+		}
 		for i := 0; i < reserve[dk]; i++ {
 			// Duplicate a mid-document entry; repeated entries in real
 			// documents are typically far apart.
@@ -886,6 +910,9 @@ func (g *generator) injectRevisionErrors(gt *GroundTruth) {
 	counts := []int{3, 3, 2}
 	for i, dk := range doubleDocs {
 		doc := gt.DB.Docs[dk]
+		if doc == nil || len(doc.Errata) == 0 {
+			continue
+		}
 		for j := 0; j < counts[i]; j++ {
 			e := doc.Errata[g.rng.Intn(len(doc.Errata))]
 			if e.AddedIn >= len(doc.Revisions) {
@@ -905,6 +932,9 @@ func (g *generator) injectRevisionErrors(gt *GroundTruth) {
 	counts = []int{7, 5}
 	for i, dk := range missingDocs {
 		doc := gt.DB.Docs[dk]
+		if doc == nil || len(doc.Errata) == 0 {
+			continue
+		}
 		for j := 0; j < counts[i]; j++ {
 			e := doc.Errata[g.rng.Intn(len(doc.Errata))]
 			removed := false
@@ -933,6 +963,9 @@ func (g *generator) injectRevisionErrors(gt *GroundTruth) {
 // different errata (the AAJ143 case).
 func (g *generator) injectReusedName(gt *GroundTruth) {
 	doc := gt.DB.Docs["intel-01d"]
+	if doc == nil || len(doc.Errata) < 2 {
+		return
+	}
 	a := doc.Errata[g.rng.Intn(len(doc.Errata)-1)]
 	var b *core.Erratum
 	for _, e := range doc.Errata {
@@ -975,6 +1008,9 @@ func (g *generator) injectFieldErrors(gt *GroundTruth) {
 	}
 	for _, p := range plan {
 		doc := gt.DB.Docs[p.doc]
+		if doc == nil || len(doc.Errata) == 0 {
+			continue
+		}
 		e := doc.Errata[g.rng.Intn(len(doc.Errata))]
 		if p.kind == "missing" {
 			switch p.field {
@@ -1008,6 +1044,9 @@ func (g *generator) markSimulationOnly(gt *GroundTruth) {
 	marked := map[string]bool{}
 	for _, p := range plan {
 		doc := gt.DB.Docs[p.doc]
+		if doc == nil || len(doc.Errata) == 0 {
+			continue
+		}
 		placed := 0
 		for attempts := 0; placed < p.n && attempts < 200; attempts++ {
 			e := doc.Errata[g.rng.Intn(len(doc.Errata))]
@@ -1032,6 +1071,9 @@ func (g *generator) markSimulationOnly(gt *GroundTruth) {
 func (g *generator) injectWrongMSRs(gt *GroundTruth) {
 	for _, dk := range []string{"intel-02m", "intel-08", "amd-17h-00"} {
 		doc := gt.DB.Docs[dk]
+		if doc == nil || len(doc.Errata) == 0 {
+			continue
+		}
 		e := doc.Errata[g.rng.Intn(len(doc.Errata))]
 		e.Description += " The erroneous value is latched in MSR 0xFFFF_FFFF."
 		gt.Inventory.WrongMSRNumbers = append(gt.Inventory.WrongMSRNumbers, EntryRef(e))

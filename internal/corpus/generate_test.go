@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/taxonomy"
+	intelamd "repro/plugins/corpusprofile/intelamd"
 )
 
 // The generator is deterministic and calibrated; generate once per test
@@ -42,7 +43,7 @@ func TestProfileSums(t *testing.T) {
 }
 
 func TestPlanIntel(t *testing.T) {
-	lins, err := planIntel(nil)
+	lins, err := planIntel(intelamd.Profile{}.Spec(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestPlanIntel(t *testing.T) {
 }
 
 func TestPlanAMD(t *testing.T) {
-	lins, err := planAMD(nil)
+	lins, err := planAMD(intelamd.Profile{}.Spec(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

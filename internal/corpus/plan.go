@@ -3,6 +3,8 @@ package corpus
 import (
 	"fmt"
 	"sort"
+
+	"repro/pkg/pluginapi"
 )
 
 // Lineage is one unique bug: the set of documents whose errata report it.
@@ -38,19 +40,10 @@ type planError struct{ msg string }
 
 func (e planError) Error() string { return "corpus: " + e.msg }
 
-// docKeysIntel returns the Intel document keys in generation order.
-func docKeysIntel() []string {
-	out := make([]string, len(IntelProfiles))
-	for i, p := range IntelProfiles {
-		out[i] = p.Key
-	}
-	return out
-}
-
-// docKeysAMD returns the AMD document keys in family order.
-func docKeysAMD() []string {
-	out := make([]string, len(AMDProfiles))
-	for i, p := range AMDProfiles {
+// docKeys returns the document keys in profile order.
+func docKeys(profiles []DocProfile) []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
 		out[i] = p.Key
 	}
 	return out
@@ -59,9 +52,10 @@ func docKeysAMD() []string {
 // planIntel builds the Intel lineage plan. reserve maps document keys to
 // the number of entry slots reserved for injected intra-document
 // duplicates; those slots are excluded from the lineage budget.
-func planIntel(reserve map[string]int) ([]Lineage, error) {
-	quota := make(map[string]int, len(IntelProfiles))
-	for _, p := range IntelProfiles {
+func planIntel(spec pluginapi.CorpusSpec, reserve map[string]int) ([]Lineage, error) {
+	cal := spec.Calibration
+	quota := make(map[string]int, len(spec.IntelDocs))
+	for _, p := range spec.IntelDocs {
 		quota[p.Key] = p.Count - reserve[p.Key]
 		if quota[p.Key] < 0 {
 			return nil, planError{fmt.Sprintf("reservation exceeds count for %s", p.Key)}
@@ -80,38 +74,43 @@ func planIntel(reserve map[string]int) ([]Lineage, error) {
 		return nil
 	}
 
-	// Special lineage 1: the Core 2 erratum still identified many
-	// generations later (Section IV-B2) — present in every document from
-	// generation 2 on.
-	longest := Lineage{Special: "longest", Docs: []string{
-		"intel-02d", "intel-02m", "intel-03d", "intel-03m", "intel-04d",
-		"intel-04m", "intel-05d", "intel-05m", "intel-06", "intel-07",
-		"intel-08", "intel-10", "intel-11", "intel-12",
-	}}
-	if err := take(longest); err != nil {
-		return nil, err
-	}
-
-	// Special lineages 2..7: the six bugs that stayed from Core 1 to
-	// Core 10.
-	core1to10 := []string{
-		"intel-01d", "intel-01m", "intel-02d", "intel-02m", "intel-03d",
-		"intel-03m", "intel-04d", "intel-04m", "intel-05d", "intel-05m",
-		"intel-06", "intel-07", "intel-08", "intel-10",
-	}
-	for i := 0; i < LineagesCore1To10; i++ {
-		if err := take(Lineage{Special: "core1to10", Docs: append([]string(nil), core1to10...)}); err != nil {
+	// The pinned shared lineages span hard-coded Table III document
+	// keys; a profile that does not want them (or does not include
+	// those documents) sets SharedGens6To10 to zero.
+	if cal.SharedGens6To10 > 0 {
+		// Special lineage 1: the Core 2 erratum still identified many
+		// generations later (Section IV-B2) — present in every document
+		// from generation 2 on.
+		longest := Lineage{Special: "longest", Docs: []string{
+			"intel-02d", "intel-02m", "intel-03d", "intel-03m", "intel-04d",
+			"intel-04m", "intel-05d", "intel-05m", "intel-06", "intel-07",
+			"intel-08", "intel-10", "intel-11", "intel-12",
+		}}
+		if err := take(longest); err != nil {
 			return nil, err
 		}
-	}
 
-	// The remaining bugs shared by all generations 6 to 10. The longest
-	// and core1to10 lineages also cover generations 6-10, so together
-	// they amount to SharedGens6To10 lineages.
-	gens6to10 := []string{"intel-06", "intel-07", "intel-08", "intel-10"}
-	for i := 0; i < SharedGens6To10-LineagesCore1To10-1; i++ {
-		if err := take(Lineage{Special: "gens6to10", Docs: append([]string(nil), gens6to10...)}); err != nil {
-			return nil, err
+		// Special lineages 2..7: the six bugs that stayed from Core 1 to
+		// Core 10.
+		core1to10 := []string{
+			"intel-01d", "intel-01m", "intel-02d", "intel-02m", "intel-03d",
+			"intel-03m", "intel-04d", "intel-04m", "intel-05d", "intel-05m",
+			"intel-06", "intel-07", "intel-08", "intel-10",
+		}
+		for i := 0; i < cal.LineagesCore1To10; i++ {
+			if err := take(Lineage{Special: "core1to10", Docs: append([]string(nil), core1to10...)}); err != nil {
+				return nil, err
+			}
+		}
+
+		// The remaining bugs shared by all generations 6 to 10. The
+		// longest and core1to10 lineages also cover generations 6-10, so
+		// together they amount to SharedGens6To10 lineages.
+		gens6to10 := []string{"intel-06", "intel-07", "intel-08", "intel-10"}
+		for i := 0; i < cal.SharedGens6To10-cal.LineagesCore1To10-1; i++ {
+			if err := take(Lineage{Special: "gens6to10", Docs: append([]string(nil), gens6to10...)}); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -120,7 +119,7 @@ func planIntel(reserve map[string]int) ([]Lineage, error) {
 	for _, q := range quota {
 		appearances += q
 	}
-	remainingLineages := TargetIntelUnique - len(lineages)
+	remainingLineages := cal.IntelUnique - len(lineages)
 	extras := appearances - remainingLineages
 	if extras < 0 {
 		return nil, planError{"negative extras: appearance quota too small for unique target"}
@@ -159,15 +158,15 @@ func planIntel(reserve map[string]int) ([]Lineage, error) {
 	}
 
 	// Singletons absorb the remaining quota.
-	for _, dk := range docKeysIntel() {
+	for _, dk := range docKeys(spec.IntelDocs) {
 		for i := 0; i < quota[dk]; i++ {
 			lineages = append(lineages, Lineage{Docs: []string{dk}})
 		}
 		quota[dk] = 0
 	}
 
-	if len(lineages) != TargetIntelUnique {
-		return nil, planError{fmt.Sprintf("planned %d Intel lineages, want %d", len(lineages), TargetIntelUnique)}
+	if len(lineages) != cal.IntelUnique {
+		return nil, planError{fmt.Sprintf("planned %d Intel lineages, want %d", len(lineages), cal.IntelUnique)}
 	}
 	assignKeys(lineages, "GT-I")
 	return lineages, nil
@@ -175,9 +174,10 @@ func planIntel(reserve map[string]int) ([]Lineage, error) {
 
 // planAMD builds the AMD lineage plan. AMD families share fewer errata
 // than Intel generations; sharing happens between related families.
-func planAMD(reserve map[string]int) ([]Lineage, error) {
-	quota := make(map[string]int, len(AMDProfiles))
-	for _, p := range AMDProfiles {
+func planAMD(spec pluginapi.CorpusSpec, reserve map[string]int) ([]Lineage, error) {
+	cal := spec.Calibration
+	quota := make(map[string]int, len(spec.AMDDocs))
+	for _, p := range spec.AMDDocs {
 		quota[p.Key] = p.Count - reserve[p.Key]
 		if quota[p.Key] < 0 {
 			return nil, planError{fmt.Sprintf("reservation exceeds count for %s", p.Key)}
@@ -187,7 +187,7 @@ func planAMD(reserve map[string]int) ([]Lineage, error) {
 	for _, q := range quota {
 		appearances += q
 	}
-	extras := appearances - TargetAMDUnique
+	extras := appearances - cal.AMDUnique
 	if extras < 0 {
 		return nil, planError{"negative AMD extras"}
 	}
@@ -213,14 +213,14 @@ func planAMD(reserve map[string]int) ([]Lineage, error) {
 	for _, g := range groups {
 		lineages = append(lineages, Lineage{Docs: g})
 	}
-	for _, dk := range docKeysAMD() {
+	for _, dk := range docKeys(spec.AMDDocs) {
 		for i := 0; i < quota[dk]; i++ {
 			lineages = append(lineages, Lineage{Docs: []string{dk}})
 		}
 		quota[dk] = 0
 	}
-	if len(lineages) != TargetAMDUnique {
-		return nil, planError{fmt.Sprintf("planned %d AMD lineages, want %d", len(lineages), TargetAMDUnique)}
+	if len(lineages) != cal.AMDUnique {
+		return nil, planError{fmt.Sprintf("planned %d AMD lineages, want %d", len(lineages), cal.AMDUnique)}
 	}
 	assignKeys(lineages, "GT-A")
 	return lineages, nil

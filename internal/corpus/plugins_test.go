@@ -1,0 +1,33 @@
+package corpus
+
+// The test binary is its own composition root: generating requires the
+// default corpus profile. The calibration targets and document lists of
+// the built-in profile are re-bound under their historical in-package
+// names so the calibration tests read naturally.
+import (
+	intelamd "repro/plugins/corpusprofile/intelamd"
+	_ "repro/plugins/defaults"
+)
+
+const (
+	TargetIntelTotal  = intelamd.TargetIntelTotal
+	TargetIntelUnique = intelamd.TargetIntelUnique
+	TargetAMDTotal    = intelamd.TargetAMDTotal
+	TargetAMDUnique   = intelamd.TargetAMDUnique
+	TargetTotal       = intelamd.TargetTotal
+	TargetUnique      = intelamd.TargetUnique
+
+	SharedGens6To10   = intelamd.SharedGens6To10
+	LineagesCore1To10 = intelamd.LineagesCore1To10
+
+	ComplexConditionFractionIntel = intelamd.ComplexConditionFractionIntel
+	ComplexConditionFractionAMD   = intelamd.ComplexConditionFractionAMD
+	TrivialTriggerFraction        = intelamd.TrivialTriggerFraction
+	NoWorkaroundFractionIntel     = intelamd.NoWorkaroundFractionIntel
+	NoWorkaroundFractionAMD       = intelamd.NoWorkaroundFractionAMD
+)
+
+var (
+	IntelProfiles = intelamd.IntelDocs
+	AMDProfiles   = intelamd.AMDDocs
+)

@@ -1,0 +1,35 @@
+// Package corpus generates the synthetic errata corpus that substitutes
+// for the withdrawn and proprietary Intel/AMD specification-update PDFs.
+//
+// The generator emits, deterministically from a seed, the documents of a
+// corpus profile with errata whose counts, duplicate structure,
+// annotation distributions, disclosure timelines and injected document
+// errors are calibrated to the statistics the profile specifies. The
+// built-in profile (plugins/corpusprofile/intelamd, wired as the default
+// by plugins/defaults) reproduces the 28 documents of Table III and the
+// statistics the paper reports. Every erratum carries a hidden
+// ground-truth annotation; the downstream pipeline (parse, dedup,
+// classify, annotate) must recover the statistics from the rendered text
+// alone, which is what the test suite verifies.
+package corpus
+
+import (
+	"fmt"
+
+	"repro/pkg/pluginapi"
+)
+
+// DocProfile describes one specification-update document to generate.
+// It is the plugin-API type: document sets come from registered corpus
+// profile plugins.
+type DocProfile = pluginapi.DocProfile
+
+// defaultSpec resolves the spec of the default corpus profile from the
+// plugin registry.
+func defaultSpec() (pluginapi.CorpusSpec, error) {
+	p, err := pluginapi.DefaultCorpusProfile()
+	if err != nil {
+		return pluginapi.CorpusSpec{}, fmt.Errorf("corpus: %w", err)
+	}
+	return p.Spec(), nil
+}

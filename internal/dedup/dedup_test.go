@@ -8,6 +8,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/specdoc"
 	"repro/internal/textsim"
+	corpusprofile "repro/plugins/corpusprofile/intelamd"
 )
 
 func buildSmallDB(t *testing.T) *core.Database {
@@ -167,11 +168,11 @@ func TestFullCorpusDedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.UniqueIntel != corpus.TargetIntelUnique {
-		t.Errorf("Intel unique = %d, want %d", res.UniqueIntel, corpus.TargetIntelUnique)
+	if res.UniqueIntel != corpusprofile.TargetIntelUnique {
+		t.Errorf("Intel unique = %d, want %d", res.UniqueIntel, corpusprofile.TargetIntelUnique)
 	}
-	if res.UniqueAMD != corpus.TargetAMDUnique {
-		t.Errorf("AMD unique = %d, want %d", res.UniqueAMD, corpus.TargetAMDUnique)
+	if res.UniqueAMD != corpusprofile.TargetAMDUnique {
+		t.Errorf("AMD unique = %d, want %d", res.UniqueAMD, corpusprofile.TargetAMDUnique)
 	}
 	if res.ConfirmedPairs != 29 {
 		t.Errorf("confirmed pairs = %d, want 29 (the paper's manual count)", res.ConfirmedPairs)
@@ -429,8 +430,8 @@ func TestLSHMatchesExactOnFullCorpus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.UniqueIntel != corpus.TargetIntelUnique {
-		t.Errorf("LSH unique Intel = %d, want %d", res.UniqueIntel, corpus.TargetIntelUnique)
+	if res.UniqueIntel != corpusprofile.TargetIntelUnique {
+		t.Errorf("LSH unique Intel = %d, want %d", res.UniqueIntel, corpusprofile.TargetIntelUnique)
 	}
 	if res.ConfirmedPairs != 29 {
 		t.Errorf("LSH confirmed pairs = %d, want 29", res.ConfirmedPairs)

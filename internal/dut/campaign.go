@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/taxonomy"
+	"repro/pkg/domain"
 )
 
 // Strategy produces the next stimulus of a testing campaign.
@@ -28,7 +29,7 @@ type RandomStrategy struct {
 }
 
 // NewRandomStrategy builds the CRV baseline over the full scheme.
-func NewRandomStrategy(scheme *taxonomy.Scheme, msrs []string, cfg Config, seed int64) *RandomStrategy {
+func NewRandomStrategy(scheme domain.Scheme, msrs []string, cfg Config, seed int64) *RandomStrategy {
 	monitors := append([]string(nil), scheme.CategoryIDs(taxonomy.Effect)...)
 	monitors = append(monitors, msrs...)
 	return &RandomStrategy{
@@ -89,7 +90,7 @@ type DirectedStrategy struct {
 }
 
 // NewDirectedStrategy builds the RemembERR-directed strategy.
-func NewDirectedStrategy(directives []DirectiveInput, scheme *taxonomy.Scheme, cfg Config, seed int64) *DirectedStrategy {
+func NewDirectedStrategy(directives []DirectiveInput, scheme domain.Scheme, cfg Config, seed int64) *DirectedStrategy {
 	return &DirectedStrategy{
 		rng:        rand.New(rand.NewSource(seed)),
 		directives: append([]DirectiveInput(nil), directives...),

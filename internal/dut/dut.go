@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/taxonomy"
+	"repro/pkg/domain"
 )
 
 // Bug is one hidden design flaw.
@@ -190,7 +191,7 @@ func observed(b Bug, monitored map[string]bool) bool {
 // skipped (minTriggers <= 1 keeps every triggered erratum) — campaigns
 // about design-testing gaps care about the combined-trigger population
 // the paper highlights (49% of errata need at least two triggers).
-func BugsFromErrata(errata []*core.Erratum, scheme *taxonomy.Scheme, limit, minTriggers int, rng *rand.Rand) []Bug {
+func BugsFromErrata(errata []*core.Erratum, scheme domain.Scheme, limit, minTriggers int, rng *rand.Rand) []Bug {
 	if minTriggers < 1 {
 		minTriggers = 1
 	}

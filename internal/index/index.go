@@ -25,13 +25,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
-	"repro/internal/taxonomy"
+	"repro/pkg/domain"
 )
 
 // Index is an inverted index over one database snapshot.
 type Index struct {
 	db     *core.Database
-	scheme *taxonomy.Scheme
+	scheme domain.Scheme
 
 	// errata maps ordinal -> entry, in db.Errata() order.
 	errata []*core.Erratum

@@ -121,7 +121,7 @@ func (ix *Index) KeyList(key string) List { return ix.byKey[key] }
 
 // KeyOrds returns KeyList materialized as a heap slice.
 //
-/// Deprecated: use KeyList, which stays allocation-free for span-backed
+// / Deprecated: use KeyList, which stays allocation-free for span-backed
 // indexes too.
 func (ix *Index) KeyOrds(key string) []int { return toInts(ix.byKey[key]) }
 

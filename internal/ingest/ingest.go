@@ -61,6 +61,7 @@ import (
 	"repro/internal/taxonomy"
 	"repro/internal/textsim"
 	"repro/internal/timeline"
+	"repro/pkg/domain"
 )
 
 // docArtifactVersion versions the cached per-document artifact (parsed
@@ -120,7 +121,7 @@ type Result struct {
 type Ingester struct {
 	mu     sync.Mutex
 	opts   Options
-	scheme *taxonomy.Scheme
+	scheme domain.Scheme
 	engine *classify.Engine
 
 	// frozenKey maps normalized Intel titles of the initial database to
@@ -420,7 +421,7 @@ func (in *Ingester) parseOne(text string) (*parsedDoc, error) {
 // flags and per-entry workaround/fix classifications onto the erratum —
 // the oracle-free half of annotate.Run's applyAnnotation (a live feed
 // has no ground truth to resolve undecided pairs against).
-func applyAutoAnnotation(scheme *taxonomy.Scheme, rep *classify.Report, e *core.Erratum) {
+func applyAutoAnnotation(scheme domain.Scheme, rep *classify.Report, e *core.Erratum) {
 	var ann core.Annotation
 	for _, cat := range rep.IncludedCategories(scheme) {
 		c, ok := scheme.Category(cat)

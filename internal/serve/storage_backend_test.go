@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/store"
+	"repro/pkg/storage"
+)
+
+// TestStorageBackendEquivalence extends the cross-format serving
+// contract to the pkg/storage backend registry: servers whose database
+// arrives through the in-memory backend — as a v1 blob, a v2 blob, or
+// a materialized database that was never serialized — answer every /v1
+// response byte-identically to servers fed by the v1 and v2 drivers
+// directly. Caching is disabled so every request exercises the full
+// path.
+func TestStorageBackendEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		gt, err := corpus.Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deterministic disclosure dates (set before encoding, so every
+		// source carries them) so the date-range filters bite.
+		for i, e := range gt.DB.Errata() {
+			e.Disclosed = time.Date(2008+i%10, time.Month(1+i%12), 1+i%28, 0, 0, 0, 0, time.UTC)
+		}
+		v1Bytes, err := store.Encode(gt.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2Bytes, err := store.EncodeV2(gt.DB, store.V2Options{Postings: true, Fragments: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mem := storage.NewMem()
+		mem.Put("corpus.json", v1Bytes)
+		mem.Put("corpus.v2", v2Bytes)
+		mem.PutDatabase("corpus", gt.DB)
+
+		// The reference server reads the v1 driver's materialization.
+		ref, err := storage.OpenBytes("v1", v1Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refDB, err := ref.Database()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference := newDBServer(refDB, Options{CacheSize: -1}).Handler()
+
+		// Candidate servers, one per source route. Readers backed by a
+		// serialization are store readers underneath and feed WithStore;
+		// the never-serialized mem entry feeds WithDatabase.
+		candidates := map[string]http.Handler{}
+		addStore := func(name string, r storage.Reader) {
+			sr, ok := r.(store.Reader)
+			if !ok {
+				t.Fatalf("%s: reader %T is not a store.Reader", name, r)
+			}
+			srv, err := New(WithStore(sr), Options{CacheSize: -1})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			candidates[name] = srv.Handler()
+		}
+		v2Direct, err := storage.OpenBytes("v2", v2Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addStore("driver-v2", v2Direct)
+		memV1, err := mem.Open("corpus.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addStore("mem-v1", memV1)
+		memV2, err := mem.Open("corpus.v2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addStore("mem-v2", memV2)
+		memDB, err := mem.Open("corpus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := memDB.Database()
+		if err != nil {
+			t.Fatal(err)
+		}
+		candidates["mem-db"] = newDBServer(db, Options{CacheSize: -1}).Handler()
+
+		urls := []string{"/v1/stats", "/v1/errata/no-such-key"}
+		for _, q := range serveFilterMatrix {
+			u := "/v1/errata"
+			if q != "" {
+				u += "?" + q
+			}
+			urls = append(urls, u)
+		}
+		for _, e := range gt.DB.Unique()[:5] {
+			urls = append(urls, "/v1/errata/"+e.Key)
+		}
+
+		for _, url := range urls {
+			wantCode, want := get(t, reference, url)
+			for name, h := range candidates {
+				gotCode, got := get(t, h, url)
+				if gotCode != wantCode || !bytes.Equal(got, want) {
+					t.Fatalf("seed %d %s %s: %d %q != reference %d %q",
+						seed, name, url, gotCode, truncate(got), wantCode, truncate(want))
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	corpusprofile "repro/plugins/corpusprofile/intelamd"
 )
 
 func date(y, m int) time.Time {
@@ -269,10 +270,10 @@ func TestFullCorpusRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats := db.ComputeStats()
-	if stats.Total != corpus.TargetTotal {
-		t.Errorf("parsed total = %d, want %d", stats.Total, corpus.TargetTotal)
+	if stats.Total != corpusprofile.TargetTotal {
+		t.Errorf("parsed total = %d, want %d", stats.Total, corpusprofile.TargetTotal)
 	}
-	if stats.IntelTotal != corpus.TargetIntelTotal || stats.AMDTotal != corpus.TargetAMDTotal {
+	if stats.IntelTotal != corpusprofile.TargetIntelTotal || stats.AMDTotal != corpusprofile.TargetAMDTotal {
 		t.Errorf("parsed per-vendor totals = (%d,%d)", stats.IntelTotal, stats.AMDTotal)
 	}
 

@@ -32,7 +32,11 @@ func BenchmarkColdOpenV1(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		db, err := Decode(v1)
+		r, err := OpenBytes(v1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db, err := r.Database()
 		if err != nil {
 			b.Fatal(err)
 		}

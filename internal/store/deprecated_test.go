@@ -1,0 +1,67 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestDeprecatedShims is the single regression test for the deprecated
+// entry points — Load, Decode and DecodeAny — kept until the shims are
+// removed. Every one must agree byte-for-byte with the Open/OpenBytes
+// path it forwards to; all other tests use the modern API.
+func TestDeprecatedShims(t *testing.T) {
+	db := sampleDB(t)
+	want, err := Encode(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode: the v1-only shim.
+	fromDecode, err := Decode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Encode(fromDecode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, want) {
+		t.Error("Decode shim changed the canonical encoding")
+	}
+
+	// DecodeAny: the sniffing shim, over both serializations.
+	for _, enc := range [][]byte{want, fullV2(t, db)} {
+		got, err := DecodeAny(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := Encode(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, want) {
+			t.Error("DecodeAny shim changed the canonical encoding")
+		}
+	}
+	if _, err := DecodeAny([]byte("REMBERR?-garbage")); err == nil {
+		t.Error("DecodeAny accepted garbage")
+	}
+
+	// Load: the path shim.
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := Save(db, path); err != nil {
+		t.Fatal(err)
+	}
+	fromLoad, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err = Encode(fromLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, want) {
+		t.Error("Load shim changed the canonical encoding")
+	}
+}

@@ -254,31 +254,10 @@ func TestOpenV2HostileInputs(t *testing.T) {
 	}
 }
 
-// TestDecodeAnySniffs proves the format sniffing: the same entry point
-// reads both serializations and rejects garbage.
-func TestDecodeAnySniffs(t *testing.T) {
-	db := sampleDB(t)
-	want, err := Encode(db)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, enc := range [][]byte{want, fullV2(t, db)} {
-		got, err := DecodeAny(enc)
-		if err != nil {
-			t.Fatal(err)
-		}
-		re, err := Encode(got)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(want, re) {
-			t.Fatal("DecodeAny changed the canonical encoding")
-		}
-	}
-	if _, err := DecodeAny([]byte("REMBERR?-garbage")); err == nil {
-		t.Fatal("DecodeAny accepted garbage")
-	}
-}
+// The format-sniffing contract (both serializations read through one
+// entry point, garbage rejected) is covered by TestOpenBytesSniffs in
+// open_test.go; the deprecated DecodeAny shim keeps its one regression
+// test in deprecated_test.go.
 
 // TestSaveFormat exercises explicit and filename-driven format
 // selection, including gzip composition, and the unknown-format error.
@@ -289,10 +268,7 @@ func TestSaveFormat(t *testing.T) {
 
 	check := func(path string) {
 		t.Helper()
-		got, err := Load(path)
-		if err != nil {
-			t.Fatalf("%s: %v", path, err)
-		}
+		got := openDBFile(t, path)
 		re, err := Encode(got)
 		if err != nil {
 			t.Fatal(err)

@@ -62,10 +62,11 @@ func fuzzSeedDB(tb testing.TB) *core.Database {
 	return db
 }
 
-// FuzzDecode fuzzes the JSON decoder. Properties:
+// FuzzDecode fuzzes the JSON decoder through the sniffing OpenBytes
+// entry point. Properties:
 //
-//  1. Decode never panics, whatever the bytes.
-//  2. If Decode accepts the bytes, the database re-encodes without
+//  1. OpenBytes never panics, whatever the bytes.
+//  2. If OpenBytes accepts the bytes, the database re-encodes without
 //     error, the re-encoding decodes, and a second encode of that is
 //     byte-identical (deterministic canonical form).
 func FuzzDecode(f *testing.F) {
@@ -82,18 +83,19 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`not json`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		db, err := Decode(data)
+		r, err := OpenBytes(data)
 		if err != nil {
 			return // rejected input; only panics are failures
+		}
+		db, err := r.Database()
+		if err != nil {
+			t.Fatalf("opened database failed to materialize: %v", err)
 		}
 		enc1, err := Encode(db)
 		if err != nil {
 			t.Fatalf("decoded database failed to encode: %v", err)
 		}
-		db2, err := Decode(enc1)
-		if err != nil {
-			t.Fatalf("re-encoding rejected by decoder: %v\n%s", err, enc1)
-		}
+		db2 := openDBBytes(t, enc1)
 		enc2, err := Encode(db2)
 		if err != nil {
 			t.Fatalf("second encode failed: %v", err)
@@ -104,10 +106,10 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
-// FuzzOpenV2 fuzzes the FormatVersion 2 binary decoder through
-// DecodeAny. Properties:
+// FuzzOpenV2 fuzzes the FormatVersion 2 binary decoder and the
+// sniffing entry point. Properties:
 //
-//  1. Neither OpenV2 nor DecodeAny panics, whatever the bytes.
+//  1. Neither OpenV2 nor OpenBytes panics, whatever the bytes.
 //  2. If OpenV2 accepts the bytes, materialization succeeds and the
 //     database's canonical v1 encoding round-trips byte-identically
 //     through another v2 encode/open/materialize cycle.
@@ -138,7 +140,7 @@ func FuzzOpenV2(f *testing.F) {
 		if err != nil {
 			// Rejected input must also be rejected (or JSON-decoded)
 			// by the sniffing entry point without panicking.
-			_, _ = DecodeAny(data)
+			_, _ = OpenBytes(data)
 			return
 		}
 		db, err := sv.Database()

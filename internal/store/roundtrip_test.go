@@ -27,10 +27,7 @@ func TestEncodeRoundTripSeeds(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: encode: %v", seed, err)
 		}
-		db2, err := Decode(enc1)
-		if err != nil {
-			t.Fatalf("seed %d: decode: %v", seed, err)
-		}
+		db2 := openDBBytes(t, enc1)
 		enc2, err := Encode(db2)
 		if err != nil {
 			t.Fatalf("seed %d: re-encode: %v", seed, err)
@@ -39,10 +36,7 @@ func TestEncodeRoundTripSeeds(t *testing.T) {
 			t.Fatalf("seed %d: Encode(Decode(Encode(db))) differs: %d vs %d bytes",
 				seed, len(enc1), len(enc2))
 		}
-		db3, err := Decode(enc2)
-		if err != nil {
-			t.Fatalf("seed %d: second decode: %v", seed, err)
-		}
+		db3 := openDBBytes(t, enc2)
 		enc3, err := Encode(db3)
 		if err != nil {
 			t.Fatalf("seed %d: third encode: %v", seed, err)
@@ -72,14 +66,8 @@ func TestSaveLoadGzipAgreement(t *testing.T) {
 		if err := Save(gt.DB, zipped); err != nil {
 			t.Fatalf("seed %d: save gzip: %v", seed, err)
 		}
-		fromPlain, err := Load(plain)
-		if err != nil {
-			t.Fatalf("seed %d: load plain: %v", seed, err)
-		}
-		fromZip, err := Load(zipped)
-		if err != nil {
-			t.Fatalf("seed %d: load gzip: %v", seed, err)
-		}
+		fromPlain := openDBFile(t, plain)
+		fromZip := openDBFile(t, zipped)
 		encPlain, err := Encode(fromPlain)
 		if err != nil {
 			t.Fatal(err)
@@ -133,10 +121,7 @@ func TestGoldenFormatV1(t *testing.T) {
 			golden, len(got), len(want))
 	}
 	// The golden bytes must stay decodable and canonical.
-	db, err := Decode(want)
-	if err != nil {
-		t.Fatalf("golden file no longer decodes: %v", err)
-	}
+	db := openDBBytes(t, want)
 	re, err := Encode(db)
 	if err != nil {
 		t.Fatal(err)

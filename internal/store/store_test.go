@@ -15,6 +15,38 @@ func date(y, m, d int) time.Time {
 	return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
 }
 
+// openDBBytes materializes a database from an encoded buffer through
+// the modern OpenBytes entry point.
+func openDBBytes(tb testing.TB, data []byte) *core.Database {
+	tb.Helper()
+	r, err := OpenBytes(data)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	db, err := r.Database()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return db
+}
+
+// openDBFile materializes a database from a file through Open. Mmap is
+// off: the reader is closed on return, and a materialized database
+// must not outlive the mapping it aliases.
+func openDBFile(tb testing.TB, path string) *core.Database {
+	tb.Helper()
+	r, err := Open(path, WithMmap(false))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer r.Close()
+	db, err := r.Database()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return db
+}
+
 func sampleDB(t *testing.T) *core.Database {
 	t.Helper()
 	db := core.NewDatabase()
@@ -56,10 +88,7 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Decode(data)
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := openDBBytes(t, data)
 	d1 := db.Docs["intel-06"]
 	d2 := got.Docs["intel-06"]
 	if d2 == nil {
@@ -104,24 +133,24 @@ func TestDeterministicEncoding(t *testing.T) {
 }
 
 func TestDecodeRejects(t *testing.T) {
-	if _, err := Decode([]byte("not json")); err == nil {
+	if _, err := OpenBytes([]byte("not json")); err == nil {
 		t.Error("accepted garbage")
 	}
-	if _, err := Decode([]byte(`{"version": 99, "documents": []}`)); err == nil {
+	if _, err := OpenBytes([]byte(`{"version": 99, "documents": []}`)); err == nil {
 		t.Error("accepted wrong version")
 	}
 	bad := `{"version":1,"documents":[{"key":"x","vendor":"VIA","label":"l","released":"2015-01-01"}]}`
-	if _, err := Decode([]byte(bad)); err == nil {
+	if _, err := OpenBytes([]byte(bad)); err == nil {
 		t.Error("accepted unknown vendor")
 	}
 	badDate := `{"version":1,"documents":[{"key":"x","vendor":"Intel","label":"l","released":"someday"}]}`
-	if _, err := Decode([]byte(badDate)); err == nil {
+	if _, err := OpenBytes([]byte(badDate)); err == nil {
 		t.Error("accepted bad date")
 	}
 	badAnn := `{"version":1,"documents":[{"key":"x","vendor":"Intel","label":"l","released":"2015-01-01",
 		"errata":[{"id":"A","seq":1,"title":"t","workaround_category":"None","fix_status":"Fixed",
 		"triggers":[{"category":"Trg_NOPE_xxx"}]}]}]}`
-	if _, err := Decode([]byte(badAnn)); err == nil {
+	if _, err := OpenBytes([]byte(badAnn)); err == nil {
 		t.Error("accepted invalid annotation category")
 	}
 }
@@ -132,15 +161,12 @@ func TestSaveLoad(t *testing.T) {
 	if err := Save(db, path); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := openDBFile(t, path)
 	if got.ComputeStats().Total != 1 {
 		t.Error("load lost errata")
 	}
-	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
-		t.Error("Load of missing file should fail")
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("Open of missing file should fail")
 	}
 }
 
@@ -166,10 +192,7 @@ func TestSaveLoadGzip(t *testing.T) {
 	if zi.Size() >= pi.Size() {
 		t.Errorf("gzip did not shrink: %d vs %d", zi.Size(), pi.Size())
 	}
-	got, err := Load(zipped)
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := openDBFile(t, zipped)
 	if got.ComputeStats().Total != 1 {
 		t.Error("gzip round-trip lost errata")
 	}
@@ -178,7 +201,7 @@ func TestSaveLoadGzip(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not gzip"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Load(bad); err == nil {
+	if _, err := Open(bad); err == nil {
 		t.Error("accepted corrupt gzip")
 	}
 }

@@ -29,91 +29,39 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/pkg/domain"
 )
 
-// Kind discriminates the three annotation dimensions of an erratum.
-type Kind int
+// The kind/class/category vocabulary lives in the public pkg/domain
+// package; these aliases keep the historical internal names working.
+type (
+	// Kind discriminates the three annotation dimensions of an erratum.
+	Kind = domain.Kind
+	// Class is a class-level category, the highest abstraction level.
+	Class = domain.Class
+	// Category is an abstract-level category.
+	Category = domain.Category
+)
 
 const (
 	// Trigger marks conditions that are necessary to provoke a bug.
-	Trigger Kind = iota
+	Trigger = domain.Trigger
 	// Context marks settings in which a bug can manifest.
-	Context
+	Context = domain.Context
 	// Effect marks observable deviations once a bug has been triggered.
-	Effect
+	Effect = domain.Effect
 )
 
 // Kinds lists all kinds in canonical order.
-var Kinds = []Kind{Trigger, Context, Effect}
-
-// String returns the kind prefix used in descriptors (Trg, Ctx, Eff).
-func (k Kind) String() string {
-	switch k {
-	case Trigger:
-		return "Trg"
-	case Context:
-		return "Ctx"
-	case Effect:
-		return "Eff"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
-}
-
-// Name returns the human-readable name of the kind.
-func (k Kind) Name() string {
-	switch k {
-	case Trigger:
-		return "trigger"
-	case Context:
-		return "context"
-	case Effect:
-		return "effect"
-	default:
-		return fmt.Sprintf("kind(%d)", int(k))
-	}
-}
+var Kinds = domain.Kinds
 
 // ParseKind converts a descriptor prefix (Trg, Ctx or Eff, case-insensitive)
 // into a Kind.
-func ParseKind(s string) (Kind, error) {
-	switch strings.ToLower(s) {
-	case "trg", "trigger":
-		return Trigger, nil
-	case "ctx", "context":
-		return Context, nil
-	case "eff", "effect":
-		return Effect, nil
-	default:
-		return 0, fmt.Errorf("taxonomy: unknown kind prefix %q", s)
-	}
-}
+func ParseKind(s string) (Kind, error) { return domain.ParseKind(s) }
 
-// Class is a class-level category, the highest abstraction level.
-type Class struct {
-	// ID is the full class descriptor, e.g. "Trg_EXT".
-	ID string
-	// Kind tells whether this is a trigger, context or effect class.
-	Kind Kind
-	// Suffix is the class part of the descriptor, e.g. "EXT".
-	Suffix string
-	// Description is the one-sentence description from the paper tables.
-	Description string
-}
-
-// Category is an abstract-level category.
-type Category struct {
-	// ID is the full abstract descriptor, e.g. "Trg_EXT_rst".
-	ID string
-	// Kind tells whether this is a trigger, context or effect category.
-	Kind Kind
-	// Class is the class descriptor this category belongs to, e.g. "Trg_EXT".
-	Class string
-	// Suffix is the abstract part of the descriptor, e.g. "rst".
-	Suffix string
-	// Description is the one-sentence description from the paper tables.
-	Description string
-}
+// The concrete *Scheme must satisfy the public scheme contract.
+var _ domain.Scheme = (*Scheme)(nil)
 
 // classSpec is the static definition of one class and its abstract
 // categories, used to build the base scheme.

@@ -1,10 +1,8 @@
-package core
+package domain
 
 import (
 	"fmt"
 	"strings"
-
-	"repro/internal/taxonomy"
 )
 
 // StructuredErratum is the machine-readable erratum format the paper
@@ -94,7 +92,7 @@ func orNone(s string) string {
 }
 
 // Validate checks the structured erratum against a taxonomy scheme.
-func (s StructuredErratum) Validate(scheme *taxonomy.Scheme) error {
+func (s StructuredErratum) Validate(scheme Scheme) error {
 	if s.ID == "" {
 		return fmt.Errorf("core: structured erratum without ID")
 	}

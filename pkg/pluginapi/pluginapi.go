@@ -1,0 +1,83 @@
+// Package pluginapi is the versioned contract between the RemembERR
+// host and its plugins. A plugin is a plain Go package that provides
+// data — classifier rule packs (the regex tables of Section V-A) or
+// corpus profiles (the document set and calibration statistics of
+// Tables III-VI) — and registers it here from an init function.
+//
+// Plugins depend only on pkg/domain and this package, never on
+// internal/; the host resolves registered plugins lazily, never on the
+// plugin packages themselves. The plugins/defaults package wires the
+// built-in Intel/AMD rule pack and corpus profile as the defaults;
+// binaries and tests import it for its side effects:
+//
+//	import _ "repro/plugins/defaults"
+//
+// Compatibility is checked at registration time: every plugin states
+// the APIVersion it was built against in its Info, and Register
+// rejects plugins built against a different version instead of
+// failing obscurely later.
+package pluginapi
+
+import "repro/pkg/domain"
+
+// APIVersion is the version of the plugin contract this host supports.
+// It is incremented whenever the interfaces or the data structures of
+// this package change incompatibly; plugins report the version they
+// were built against in Info.APIVersion.
+const APIVersion = 1
+
+// Info identifies a plugin and the API version it was built against.
+type Info struct {
+	// Name is the unique registry name of the plugin, e.g. "intel-amd".
+	// Rule packs and corpus profiles have separate namespaces.
+	Name string
+	// Version is the plugin's own version string, e.g. "1.0.0". It is
+	// informational; the registry does not interpret it.
+	Version string
+	// APIVersion is the pluginapi.APIVersion the plugin was built
+	// against. Registration fails unless it equals the host's.
+	APIVersion int
+	// Description is a one-line human-readable summary.
+	Description string
+}
+
+// RuleSpec is one classifier rule: the regex patterns that decide one
+// abstract taxonomy category. Strong patterns are distinctive — a
+// match is sufficient to auto-include the category. Weak patterns are
+// suggestive — a match surfaces the category for human review but
+// never auto-includes it (the conservative-filtering principle of
+// Section V-A of the paper).
+//
+// Patterns are Go regular expressions; the engine compiles them
+// case-insensitively. The order of rules within a kind is significant:
+// matched categories are reported in rule order.
+type RuleSpec struct {
+	// Kind is the taxonomy dimension the rule classifies.
+	Kind domain.Kind
+	// Category is the abstract category identifier, e.g. "Trg_CFG_wrg".
+	// It must exist in the scheme the engine is compiled against.
+	Category string
+	// Strong lists the distinctive patterns.
+	Strong []string
+	// Weak lists the suggestive patterns.
+	Weak []string
+}
+
+// RulePack is a named, versioned set of classifier rules.
+type RulePack interface {
+	// Info identifies the pack.
+	Info() Info
+	// Rules returns the rule specifications. The slice and its
+	// contents must be treated as immutable.
+	Rules() []RuleSpec
+}
+
+// CorpusProfile is a named, versioned corpus generation profile: the
+// documents to generate and the calibrated sampling distributions.
+type CorpusProfile interface {
+	// Info identifies the profile.
+	Info() Info
+	// Spec returns the corpus specification. The returned value and
+	// everything it references must be treated as immutable.
+	Spec() CorpusSpec
+}

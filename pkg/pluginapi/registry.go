@@ -1,0 +1,182 @@
+package pluginapi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry holds every registered plugin plus the designated
+// defaults. Rule packs and corpus profiles live in separate
+// namespaces. Registration normally happens from plugin package init
+// functions; the registry is safe for concurrent use regardless.
+var registry = struct {
+	sync.RWMutex
+	rulePacks      map[string]RulePack
+	corpusProfiles map[string]CorpusProfile
+	defaultPack    string
+	defaultProfile string
+}{
+	rulePacks:      make(map[string]RulePack),
+	corpusProfiles: make(map[string]CorpusProfile),
+}
+
+// checkInfo validates a plugin's Info against the host API version.
+func checkInfo(what string, info Info) error {
+	if info.Name == "" {
+		return fmt.Errorf("pluginapi: %s with empty name", what)
+	}
+	if info.APIVersion != APIVersion {
+		return fmt.Errorf("pluginapi: %s %q built against plugin API version %d, host supports %d",
+			what, info.Name, info.APIVersion, APIVersion)
+	}
+	return nil
+}
+
+// RegisterRulePack adds a rule pack to the registry. It fails when the
+// pack is nil, its name is empty or already taken, or it was built
+// against a different APIVersion.
+func RegisterRulePack(p RulePack) error {
+	if p == nil {
+		return fmt.Errorf("pluginapi: nil rule pack")
+	}
+	if err := checkInfo("rule pack", p.Info()); err != nil {
+		return err
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	name := p.Info().Name
+	if _, dup := registry.rulePacks[name]; dup {
+		return fmt.Errorf("pluginapi: rule pack %q already registered", name)
+	}
+	registry.rulePacks[name] = p
+	return nil
+}
+
+// MustRegisterRulePack is RegisterRulePack panicking on error, for use
+// in plugin init functions.
+func MustRegisterRulePack(p RulePack) {
+	if err := RegisterRulePack(p); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterCorpusProfile adds a corpus profile to the registry under
+// the same rules as RegisterRulePack.
+func RegisterCorpusProfile(p CorpusProfile) error {
+	if p == nil {
+		return fmt.Errorf("pluginapi: nil corpus profile")
+	}
+	if err := checkInfo("corpus profile", p.Info()); err != nil {
+		return err
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	name := p.Info().Name
+	if _, dup := registry.corpusProfiles[name]; dup {
+		return fmt.Errorf("pluginapi: corpus profile %q already registered", name)
+	}
+	registry.corpusProfiles[name] = p
+	return nil
+}
+
+// MustRegisterCorpusProfile is RegisterCorpusProfile panicking on
+// error, for use in plugin init functions.
+func MustRegisterCorpusProfile(p CorpusProfile) {
+	if err := RegisterCorpusProfile(p); err != nil {
+		panic(err)
+	}
+}
+
+// SetDefaultRulePack designates a registered pack as the default the
+// host resolves when no pack is named explicitly. Setting a different
+// default over an existing one fails: defaults are wired once, by the
+// composition root (normally plugins/defaults).
+func SetDefaultRulePack(name string) error {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, ok := registry.rulePacks[name]; !ok {
+		return fmt.Errorf("pluginapi: cannot default to unregistered rule pack %q", name)
+	}
+	if registry.defaultPack != "" && registry.defaultPack != name {
+		return fmt.Errorf("pluginapi: default rule pack already set to %q", registry.defaultPack)
+	}
+	registry.defaultPack = name
+	return nil
+}
+
+// SetDefaultCorpusProfile designates a registered profile as the
+// default, under the same rules as SetDefaultRulePack.
+func SetDefaultCorpusProfile(name string) error {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, ok := registry.corpusProfiles[name]; !ok {
+		return fmt.Errorf("pluginapi: cannot default to unregistered corpus profile %q", name)
+	}
+	if registry.defaultProfile != "" && registry.defaultProfile != name {
+		return fmt.Errorf("pluginapi: default corpus profile already set to %q", registry.defaultProfile)
+	}
+	registry.defaultProfile = name
+	return nil
+}
+
+// DefaultRulePack returns the designated default rule pack. The error
+// explains how to wire one when none is registered.
+func DefaultRulePack() (RulePack, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	if registry.defaultPack == "" {
+		return nil, fmt.Errorf("pluginapi: no default rule pack registered (import repro/plugins/defaults for the built-in Intel/AMD rules)")
+	}
+	return registry.rulePacks[registry.defaultPack], nil
+}
+
+// DefaultCorpusProfile returns the designated default corpus profile.
+func DefaultCorpusProfile() (CorpusProfile, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	if registry.defaultProfile == "" {
+		return nil, fmt.Errorf("pluginapi: no default corpus profile registered (import repro/plugins/defaults for the built-in Table III profile)")
+	}
+	return registry.corpusProfiles[registry.defaultProfile], nil
+}
+
+// LookupRulePack returns a rule pack by name.
+func LookupRulePack(name string) (RulePack, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	p, ok := registry.rulePacks[name]
+	return p, ok
+}
+
+// LookupCorpusProfile returns a corpus profile by name.
+func LookupCorpusProfile(name string) (CorpusProfile, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	p, ok := registry.corpusProfiles[name]
+	return p, ok
+}
+
+// RulePackNames lists the registered rule pack names, sorted.
+func RulePackNames() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.rulePacks))
+	for name := range registry.rulePacks {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CorpusProfileNames lists the registered corpus profile names, sorted.
+func CorpusProfileNames() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.corpusProfiles))
+	for name := range registry.corpusProfiles {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,102 @@
+package pluginapi
+
+import (
+	"strings"
+	"testing"
+)
+
+type fakePack struct{ info Info }
+
+func (p fakePack) Info() Info        { return p.info }
+func (p fakePack) Rules() []RuleSpec { return nil }
+
+type fakeProfile struct{ info Info }
+
+func (p fakeProfile) Info() Info       { return p.info }
+func (p fakeProfile) Spec() CorpusSpec { return CorpusSpec{} }
+
+func TestRegisterRejectsInvalid(t *testing.T) {
+	if err := RegisterRulePack(nil); err == nil {
+		t.Error("nil rule pack accepted")
+	}
+	if err := RegisterCorpusProfile(nil); err == nil {
+		t.Error("nil corpus profile accepted")
+	}
+	if err := RegisterRulePack(fakePack{Info{Name: "", APIVersion: APIVersion}}); err == nil {
+		t.Error("empty-name rule pack accepted")
+	}
+	err := RegisterRulePack(fakePack{Info{Name: "future", APIVersion: APIVersion + 1}})
+	if err == nil || !strings.Contains(err.Error(), "API version") {
+		t.Errorf("version mismatch not rejected: %v", err)
+	}
+	err = RegisterCorpusProfile(fakeProfile{Info{Name: "future", APIVersion: 0}})
+	if err == nil || !strings.Contains(err.Error(), "API version") {
+		t.Errorf("profile version mismatch not rejected: %v", err)
+	}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	p := fakePack{Info{Name: "test-pack-lookup", Version: "1.0.0", APIVersion: APIVersion}}
+	if err := RegisterRulePack(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterRulePack(p); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	got, ok := LookupRulePack("test-pack-lookup")
+	if !ok || got.Info().Version != "1.0.0" {
+		t.Errorf("lookup = %v, %v", got, ok)
+	}
+	found := false
+	for _, name := range RulePackNames() {
+		if name == "test-pack-lookup" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("registered pack missing from RulePackNames: %v", RulePackNames())
+	}
+
+	cp := fakeProfile{Info{Name: "test-profile-lookup", APIVersion: APIVersion}}
+	if err := RegisterCorpusProfile(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterCorpusProfile(cp); err == nil {
+		t.Error("duplicate profile registration accepted")
+	}
+	if _, ok := LookupCorpusProfile("test-profile-lookup"); !ok {
+		t.Error("profile lookup failed")
+	}
+}
+
+func TestDefaultsAreSticky(t *testing.T) {
+	if err := SetDefaultRulePack("no-such-pack"); err == nil {
+		t.Error("defaulting to an unregistered pack accepted")
+	}
+	if err := SetDefaultCorpusProfile("no-such-profile"); err == nil {
+		t.Error("defaulting to an unregistered profile accepted")
+	}
+
+	a := fakePack{Info{Name: "test-default-a", APIVersion: APIVersion}}
+	b := fakePack{Info{Name: "test-default-b", APIVersion: APIVersion}}
+	if err := RegisterRulePack(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterRulePack(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetDefaultRulePack("test-default-a"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-setting the same default is idempotent; switching is not.
+	if err := SetDefaultRulePack("test-default-a"); err != nil {
+		t.Errorf("idempotent re-set failed: %v", err)
+	}
+	if err := SetDefaultRulePack("test-default-b"); err == nil {
+		t.Error("conflicting default accepted")
+	}
+	got, err := DefaultRulePack()
+	if err != nil || got.Info().Name != "test-default-a" {
+		t.Errorf("DefaultRulePack = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,63 @@
+package storage
+
+// The two file-format drivers are thin adapters over the internal
+// store — this file and mem.go are the architecture's one sanctioned
+// bridge between pkg/ and internal/. Both internal reader types
+// satisfy the pkg Reader contract directly (internal/core is an alias
+// layer over pkg/domain), so the adapters add no wrapping on the read
+// path.
+
+import (
+	"bytes"
+
+	"repro/internal/store"
+)
+
+func init() {
+	MustRegister(v1Driver{})
+	MustRegister(v2Driver{})
+	MustRegister(defaultMem)
+}
+
+func isGzip(prefix []byte) bool {
+	return len(prefix) >= 2 && prefix[0] == 0x1f && prefix[1] == 0x8b
+}
+
+// v1Driver opens FormatVersion 1 JSON databases.
+type v1Driver struct{}
+
+func (v1Driver) Name() string { return "v1" }
+
+// Detect claims JSON objects and gzip streams (the gzip payload may be
+// either format; WithFormat rejects a wrapped v2 file at open time, and
+// OpenAny moves on).
+func (v1Driver) Detect(prefix []byte) bool {
+	trimmed := bytes.TrimLeft(prefix, " \t\r\n")
+	return (len(trimmed) > 0 && trimmed[0] == '{') || isGzip(prefix)
+}
+
+func (v1Driver) Open(path string) (Reader, error) {
+	return store.Open(path, store.WithFormat("v1"))
+}
+
+func (v1Driver) OpenBytes(data []byte) (Reader, error) {
+	return store.OpenBytes(data, store.WithFormat("v1"))
+}
+
+// v2Driver opens FormatVersion 2 flat databases, mmap-backed where the
+// platform supports it.
+type v2Driver struct{}
+
+func (v2Driver) Name() string { return "v2" }
+
+func (v2Driver) Detect(prefix []byte) bool {
+	return store.IsV2(prefix) || isGzip(prefix)
+}
+
+func (v2Driver) Open(path string) (Reader, error) {
+	return store.Open(path, store.WithFormat("v2"))
+}
+
+func (v2Driver) OpenBytes(data []byte) (Reader, error) {
+	return store.OpenBytes(data, store.WithFormat("v2"))
+}

@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/pkg/domain"
+)
+
+// defaultMem is the shared instance registered under "mem"; tests that
+// want isolation construct their own with NewMem and use it directly.
+var defaultMem = NewMem()
+
+// Memory returns the Mem instance registered under "mem", so tests can
+// Put fixtures and reach them through Open("mem", path).
+func Memory() *Mem { return defaultMem }
+
+// Mem is an in-memory storage backend for tests. Entries are keyed by
+// a caller-chosen path and are either encoded blobs in any registered
+// serialization (Put) or materialized databases that skip
+// serialization entirely (PutDatabase).
+type Mem struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+	dbs   map[string]*domain.Database
+}
+
+// NewMem returns an empty in-memory backend. The result is a Backend
+// and can be registered under "mem" if no other Mem has been, but is
+// fully usable unregistered.
+func NewMem() *Mem {
+	return &Mem{
+		blobs: make(map[string][]byte),
+		dbs:   make(map[string]*domain.Database),
+	}
+}
+
+// Name implements Backend.
+func (m *Mem) Name() string { return "mem" }
+
+// Detect always reports false: memory entries carry no on-disk
+// serialization to sniff, so a Mem is only reached by name.
+func (m *Mem) Detect(prefix []byte) bool { return false }
+
+// Put stores an encoded database blob under path, replacing any prior
+// entry there. The blob may be in any registered serialization
+// (including gzip-wrapped); Open sniffs it like a file. The caller
+// must not mutate data afterwards.
+func (m *Mem) Put(path string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blobs[path] = data
+	delete(m.dbs, path)
+}
+
+// PutDatabase stores a materialized database under path, replacing any
+// prior entry there. Readers opened from it share db — the caller must
+// not mutate it afterwards.
+func (m *Mem) PutDatabase(path string, db *domain.Database) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dbs[path] = db
+	delete(m.blobs, path)
+}
+
+// Delete removes the entry under path, if any.
+func (m *Mem) Delete(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.blobs, path)
+	delete(m.dbs, path)
+}
+
+// Paths returns the stored entry keys, sorted.
+func (m *Mem) Paths() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	paths := make([]string, 0, len(m.blobs)+len(m.dbs))
+	for p := range m.blobs {
+		paths = append(paths, p)
+	}
+	for p := range m.dbs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Open implements Backend: blob entries open through the sniffing
+// registry exactly like files, database entries get a decode-free
+// reader reporting FormatMemory.
+func (m *Mem) Open(path string) (Reader, error) {
+	m.mu.Lock()
+	blob, isBlob := m.blobs[path]
+	db, isDB := m.dbs[path]
+	m.mu.Unlock()
+	switch {
+	case isBlob:
+		return OpenAnyBytes(blob)
+	case isDB:
+		return &memReader{db: db}, nil
+	}
+	return nil, fmt.Errorf("storage: mem backend has no entry %q", path)
+}
+
+// OpenBytes implements Backend by sniffing the registered drivers; a
+// Mem adds no serialization of its own.
+func (m *Mem) OpenBytes(data []byte) (Reader, error) {
+	return OpenAnyBytes(data)
+}
+
+// memReader serves a materialized database that was never serialized.
+type memReader struct{ db *domain.Database }
+
+func (r *memReader) Database() (*domain.Database, error) { return r.db, nil }
+func (r *memReader) Format() int                         { return FormatMemory }
+func (r *memReader) Mapped() bool                        { return false }
+func (r *memReader) Close() error                        { return nil }

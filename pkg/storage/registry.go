@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// SniffLen is the number of leading bytes OpenAny hands to each
+// backend's Detect.
+const SniffLen = 16
+
+var registry struct {
+	mu       sync.Mutex
+	backends map[string]Backend
+	order    []string // registration order, the OpenAny trial order
+}
+
+// Register adds a backend to the registry. It errors on a nil backend,
+// an empty name, or a name that is already taken.
+func Register(b Backend) error {
+	if b == nil {
+		return errors.New("storage: Register called with nil backend")
+	}
+	name := b.Name()
+	if name == "" {
+		return errors.New("storage: backend has empty name")
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.backends == nil {
+		registry.backends = make(map[string]Backend)
+	}
+	if _, dup := registry.backends[name]; dup {
+		return fmt.Errorf("storage: backend %q already registered", name)
+	}
+	registry.backends[name] = b
+	registry.order = append(registry.order, name)
+	return nil
+}
+
+// MustRegister is Register panicking on error, for driver init
+// functions.
+func MustRegister(b Backend) {
+	if err := Register(b); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the backend registered under name.
+func Lookup(name string) (Backend, bool) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	b, ok := registry.backends[name]
+	return b, ok
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	names := make([]string, 0, len(registry.backends))
+	for name := range registry.backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// snapshot returns the backends in registration order.
+func snapshot() []Backend {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]Backend, 0, len(registry.order))
+	for _, name := range registry.order {
+		out = append(out, registry.backends[name])
+	}
+	return out
+}
+
+// Open opens path with the named backend.
+func Open(name, path string) (Reader, error) {
+	b, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("storage: no backend %q (have %v)", name, Names())
+	}
+	return b.Open(path)
+}
+
+// OpenBytes opens an in-memory serialization with the named backend.
+func OpenBytes(name string, data []byte) (Reader, error) {
+	b, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("storage: no backend %q (have %v)", name, Names())
+	}
+	return b.OpenBytes(data)
+}
+
+// OpenAny sniffs the file's leading bytes and opens it with the first
+// registered backend that both claims the prefix and opens the file
+// successfully. Backends are tried in registration order, so when a
+// prefix is ambiguous — gzip wraps either file format — the earliest
+// claimant that actually decodes the content wins.
+func OpenAny(path string) (Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	prefix := make([]byte, SniffLen)
+	n, err := io.ReadFull(f, prefix)
+	f.Close()
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	return openFirst(prefix[:n], func(b Backend) (Reader, error) { return b.Open(path) })
+}
+
+// OpenAnyBytes is OpenAny over an in-memory serialization.
+func OpenAnyBytes(data []byte) (Reader, error) {
+	prefix := data
+	if len(prefix) > SniffLen {
+		prefix = prefix[:SniffLen]
+	}
+	return openFirst(prefix, func(b Backend) (Reader, error) { return b.OpenBytes(data) })
+}
+
+func openFirst(prefix []byte, open func(Backend) (Reader, error)) (Reader, error) {
+	var errs []error
+	for _, b := range snapshot() {
+		if !b.Detect(prefix) {
+			continue
+		}
+		r, err := open(b)
+		if err == nil {
+			return r, nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", b.Name(), err))
+	}
+	if len(errs) == 0 {
+		return nil, errors.New("storage: no registered backend recognizes the input")
+	}
+	return nil, fmt.Errorf("storage: every matching backend failed: %w", errors.Join(errs...))
+}

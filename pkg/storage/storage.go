@@ -1,0 +1,63 @@
+// Package storage is the storage port of the hexagonal architecture:
+// a small, stable contract between hosts that need an errata database
+// and the backends that know how to produce one. Consumers program
+// against [Reader] and [Backend]; concrete drivers live behind the
+// registry and are selected by name ([Open]) or by sniffing the
+// leading bytes of the input ([OpenAny]).
+//
+// Three drivers register themselves by default:
+//
+//   - "v1": the FormatVersion 1 JSON store
+//   - "v2": the FormatVersion 2 flat store (mmap-backed where the
+//     platform supports it)
+//   - "mem": an in-memory backend for tests ([Mem]), holding encoded
+//     blobs or materialized databases keyed by path
+//
+// This package is the single sanctioned bridge to internal/store; the
+// architecture tests forbid every other pkg/ and plugins/ package from
+// importing internal/.
+package storage
+
+import "repro/pkg/domain"
+
+// FormatMemory is the [Reader.Format] value of a reader serving a
+// materialized in-memory database that was never serialized. The
+// on-disk formats report their store format version (1 or 2) instead.
+const FormatMemory = 0
+
+// Reader is a read handle over one opened database, regardless of the
+// backend that produced it. It is the pkg/ mirror of the internal
+// store's reader contract, so every internal reader satisfies it.
+type Reader interface {
+	// Database materializes (and memoizes) the full database.
+	Database() (*domain.Database, error)
+	// Format reports the serialization format the reader was opened
+	// from: 1 (JSON), 2 (flat store) or FormatMemory.
+	Format() int
+	// Mapped reports whether reads go through a file mapping.
+	Mapped() bool
+	// Close releases the backing resources; idempotent. Nothing
+	// materialized from a mapped reader may be touched after the last
+	// reference is closed.
+	Close() error
+}
+
+// Backend is one storage driver: it names itself for open-by-name,
+// recognizes its own serialization in a byte prefix for sniff-based
+// dispatch, and opens paths or buffers into Readers.
+type Backend interface {
+	// Name is the registry key, e.g. "v1", "v2", "mem".
+	Name() string
+	// Detect reports whether prefix (the first SniffLen bytes of the
+	// input, shorter if the input is shorter) plausibly starts this
+	// backend's serialization. More than one backend may claim a
+	// prefix — gzip wraps both file formats — and OpenAny tries every
+	// claimant in registration order.
+	Detect(prefix []byte) bool
+	// Open opens the database at path.
+	Open(path string) (Reader, error)
+	// OpenBytes opens an in-memory serialization. The caller must not
+	// mutate data while the reader or anything materialized from it is
+	// in use.
+	OpenBytes(data []byte) (Reader, error)
+}

@@ -1,0 +1,258 @@
+package storage_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/store"
+	"repro/pkg/storage"
+	_ "repro/plugins/defaults"
+)
+
+func gz(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func encodeBoth(t *testing.T, seed int64) (v1, v2 []byte) {
+	t.Helper()
+	gt, err := corpus.Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err = store.Encode(gt.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err = store.EncodeV2(gt.DB, store.V2Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v1, v2
+}
+
+func TestRegisteredBackends(t *testing.T) {
+	want := []string{"mem", "v1", "v2"}
+	if got := storage.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		b, ok := storage.Lookup(name)
+		if !ok || b.Name() != name {
+			t.Fatalf("Lookup(%q) = %v, %v", name, b, ok)
+		}
+	}
+	if _, err := storage.Open("no-such", "x"); err == nil {
+		t.Fatal("Open with unknown backend name succeeded")
+	}
+}
+
+func TestRegisterRejectsInvalid(t *testing.T) {
+	if err := storage.Register(nil); err == nil {
+		t.Error("nil backend accepted")
+	}
+	if err := storage.Register(storage.NewMem()); err == nil {
+		t.Error("duplicate name \"mem\" accepted")
+	}
+}
+
+// TestOpenByName opens each serialization through its named driver and
+// checks the reported format, plus the format-mismatch rejection.
+func TestOpenByName(t *testing.T) {
+	v1Bytes, v2Bytes := encodeBoth(t, 1)
+	dir := t.TempDir()
+	v1Path := filepath.Join(dir, "db.json")
+	v2Path := filepath.Join(dir, "db.v2")
+	if err := os.WriteFile(v1Path, v1Bytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v2Path, v2Bytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		backend, path string
+		format        int
+	}{
+		{"v1", v1Path, 1},
+		{"v2", v2Path, 2},
+	} {
+		r, err := storage.Open(tc.backend, tc.path)
+		if err != nil {
+			t.Fatalf("Open(%q, %s): %v", tc.backend, tc.path, err)
+		}
+		if r.Format() != tc.format {
+			t.Errorf("Open(%q): format %d, want %d", tc.backend, r.Format(), tc.format)
+		}
+		if db, err := r.Database(); err != nil || len(db.Errata()) == 0 {
+			t.Errorf("Open(%q): database: %v", tc.backend, err)
+		}
+		r.Close()
+	}
+
+	if _, err := storage.Open("v1", v2Path); err == nil {
+		t.Error("v1 driver opened a v2 file")
+	}
+	if _, err := storage.Open("v2", v1Path); err == nil {
+		t.Error("v2 driver opened a v1 file")
+	}
+}
+
+// TestOpenAnySniffs proves sniff-based dispatch picks the right driver
+// for both formats, plain and gzip-wrapped, from paths and buffers.
+func TestOpenAnySniffs(t *testing.T) {
+	v1Bytes, v2Bytes := encodeBoth(t, 1)
+	cases := []struct {
+		name   string
+		data   []byte
+		format int
+	}{
+		{"v1.json", v1Bytes, 1},
+		{"v2.bin", v2Bytes, 2},
+		{"v1.json.gz", gz(t, v1Bytes), 1},
+		{"v2.bin.gz", gz(t, v2Bytes), 2},
+	}
+	dir := t.TempDir()
+	for _, tc := range cases {
+		r, err := storage.OpenAnyBytes(tc.data)
+		if err != nil {
+			t.Fatalf("OpenAnyBytes(%s): %v", tc.name, err)
+		}
+		if r.Format() != tc.format {
+			t.Errorf("OpenAnyBytes(%s): format %d, want %d", tc.name, r.Format(), tc.format)
+		}
+		r.Close()
+
+		path := filepath.Join(dir, tc.name)
+		if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err = storage.OpenAny(path)
+		if err != nil {
+			t.Fatalf("OpenAny(%s): %v", tc.name, err)
+		}
+		if r.Format() != tc.format {
+			t.Errorf("OpenAny(%s): format %d, want %d", tc.name, r.Format(), tc.format)
+		}
+		r.Close()
+	}
+
+	if _, err := storage.OpenAnyBytes([]byte("not a database")); err == nil {
+		t.Error("OpenAnyBytes accepted garbage")
+	}
+}
+
+// TestMemRoundTripSeeds is the store round-trip property suite run
+// through the in-memory backend: for each seed, every way of storing
+// the corpus in a Mem — v1 blob, v2 blob, materialized database —
+// yields a reader whose database re-encodes byte-identically to the
+// original v1 encoding.
+func TestMemRoundTripSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		gt, err := corpus.Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := store.Encode(gt.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2Bytes, err := store.EncodeV2(gt.DB, store.V2Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mem := storage.NewMem()
+		mem.Put("v1", want)
+		mem.Put("v2", v2Bytes)
+		mem.PutDatabase("db", gt.DB)
+
+		for _, entry := range []struct {
+			path   string
+			format int
+		}{
+			{"v1", 1},
+			{"v2", 2},
+			{"db", storage.FormatMemory},
+		} {
+			r, err := mem.Open(entry.path)
+			if err != nil {
+				t.Fatalf("seed %d: mem open %s: %v", seed, entry.path, err)
+			}
+			if r.Format() != entry.format {
+				t.Errorf("seed %d: mem %s: format %d, want %d",
+					seed, entry.path, r.Format(), entry.format)
+			}
+			db, err := r.Database()
+			if err != nil {
+				t.Fatalf("seed %d: mem %s: database: %v", seed, entry.path, err)
+			}
+			got, err := store.Encode(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d: mem %s: re-encoding differs from original (%d vs %d bytes)",
+					seed, entry.path, len(got), len(want))
+			}
+			r.Close()
+		}
+	}
+}
+
+// TestMemEntryLifecycle covers replacement, deletion and listing.
+func TestMemEntryLifecycle(t *testing.T) {
+	v1Bytes, _ := encodeBoth(t, 1)
+	mem := storage.NewMem()
+	if _, err := mem.Open("missing"); err == nil {
+		t.Fatal("open of missing entry succeeded")
+	}
+	mem.Put("a", v1Bytes)
+	mem.PutDatabase("b", nil)
+	if got := mem.Paths(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Paths() = %v", got)
+	}
+	// Replacing a blob with a database (and vice versa) swaps kinds.
+	mem.PutDatabase("a", nil)
+	r, err := mem.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Format() != storage.FormatMemory {
+		t.Fatalf("replaced entry format = %d, want FormatMemory", r.Format())
+	}
+	mem.Delete("a")
+	mem.Delete("b")
+	if got := mem.Paths(); len(got) != 0 {
+		t.Fatalf("Paths() after delete = %v", got)
+	}
+}
+
+// TestMemoryRegisteredInstance proves the shared "mem" instance is
+// reachable through the open-by-name path.
+func TestMemoryRegisteredInstance(t *testing.T) {
+	v1Bytes, _ := encodeBoth(t, 1)
+	storage.Memory().Put("registered-test", v1Bytes)
+	defer storage.Memory().Delete("registered-test")
+	r, err := storage.Open("mem", "registered-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Format() != 1 {
+		t.Fatalf("format = %d, want 1", r.Format())
+	}
+}

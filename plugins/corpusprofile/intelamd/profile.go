@@ -1,0 +1,331 @@
+// Package intelamd is the built-in corpus profile: the 28 Intel/AMD
+// specification-update documents of Table III of the RemembERR paper
+// with the calibrated sampling distributions of Figures 6-19.
+//
+// The package registers itself under the name "intel-amd" from init;
+// plugins/defaults designates it as the default profile. It depends
+// only on the public plugin API, like any third-party profile would.
+package intelamd
+
+import (
+	"time"
+
+	"repro/pkg/pluginapi"
+)
+
+// Name is the registry name of the profile.
+const Name = "intel-amd"
+
+func init() {
+	pluginapi.MustRegisterCorpusProfile(Profile{})
+}
+
+// Profile is the built-in Intel/AMD corpus profile.
+type Profile struct{}
+
+// Info identifies the profile.
+func (Profile) Info() pluginapi.Info {
+	return pluginapi.Info{
+		Name:        Name,
+		Version:     "1.0.0",
+		APIVersion:  pluginapi.APIVersion,
+		Description: "Table III Intel/AMD document set with the paper's calibration statistics",
+	}
+}
+
+// Spec returns the corpus specification.
+func (Profile) Spec() pluginapi.CorpusSpec { return baseSpec }
+
+// Calibration targets from the paper (Sections IV-A and V-B), exported
+// so tests and experiments can verify generated corpora against them.
+const (
+	// TargetIntelTotal is the number of Intel erratum entries.
+	TargetIntelTotal = 2057
+	// TargetIntelUnique is the number of unique Intel errata.
+	TargetIntelUnique = 743
+	// TargetAMDTotal is the number of AMD erratum entries.
+	TargetAMDTotal = 506
+	// TargetAMDUnique is the number of unique AMD errata.
+	TargetAMDUnique = 385
+	// TargetTotal is the total number of erratum entries (2,563).
+	TargetTotal = TargetIntelTotal + TargetAMDTotal
+	// TargetUnique is the total number of unique errata (1,128).
+	TargetUnique = TargetIntelUnique + TargetAMDUnique
+
+	// SharedGens6To10 is the number of bugs shared by all Intel Core
+	// generations 6 to 10 (Figure 4).
+	SharedGens6To10 = 104
+	// LineagesCore1To10 is the number of bugs present from Core 1 to
+	// Core 10 (Section IV-B2).
+	LineagesCore1To10 = 6
+
+	// ComplexConditionFractionIntel is the fraction of unique Intel
+	// errata mentioning a "complex set of conditions".
+	ComplexConditionFractionIntel = 0.087
+	// ComplexConditionFractionAMD is the AMD counterpart.
+	ComplexConditionFractionAMD = 0.208
+	// TrivialTriggerFraction is the fraction of errata with no clear or
+	// only trivial triggers, excluded from Figure 11.
+	TrivialTriggerFraction = 0.144
+	// NoWorkaroundFractionIntel is the fraction of unique Intel errata
+	// without any suggested workaround (Figure 6).
+	NoWorkaroundFractionIntel = 0.359
+	// NoWorkaroundFractionAMD is the AMD counterpart.
+	NoWorkaroundFractionAMD = 0.289
+)
+
+func d(y, m int) time.Time {
+	return time.Date(y, time.Month(m), 1, 0, 0, 0, 0, time.UTC)
+}
+
+// IntelDocs lists the 16 Intel Core documents of Table III. The
+// per-document entry counts sum to 2,057, the paper's Intel total.
+var IntelDocs = []pluginapi.DocProfile{
+	{Key: "intel-01d", Intel: true, Label: "1 (D)", Reference: "320836-037US", Prefix: "AAJ", GenIndex: 1, Released: d(2008, 11), LastUpdate: d(2015, 4), Count: 140, RevisionMonths: 2},
+	{Key: "intel-01m", Intel: true, Label: "1 (M)", Reference: "322814-024US", Prefix: "AAT", GenIndex: 1, Released: d(2009, 9), LastUpdate: d(2015, 4), Count: 145, RevisionMonths: 3},
+	{Key: "intel-02d", Intel: true, Label: "2 (D)", Reference: "324643-037US", Prefix: "BJ", GenIndex: 2, Released: d(2011, 1), LastUpdate: d(2016, 6), Count: 150, RevisionMonths: 2},
+	{Key: "intel-02m", Intel: true, Label: "2 (M)", Reference: "324827-034US", Prefix: "BK", GenIndex: 2, Released: d(2011, 2), LastUpdate: d(2016, 6), Count: 152, RevisionMonths: 2},
+	{Key: "intel-03d", Intel: true, Label: "3 (D)", Reference: "326766-022US", Prefix: "BV", GenIndex: 3, Released: d(2012, 4), LastUpdate: d(2016, 7), Count: 130, RevisionMonths: 3},
+	{Key: "intel-03m", Intel: true, Label: "3 (M)", Reference: "326770-022US", Prefix: "BU", GenIndex: 3, Released: d(2012, 6), LastUpdate: d(2016, 7), Count: 132, RevisionMonths: 3},
+	{Key: "intel-04d", Intel: true, Label: "4 (D)", Reference: "328899-039US", Prefix: "HSD", GenIndex: 4, Released: d(2013, 6), LastUpdate: d(2017, 3), Count: 135, RevisionMonths: 2},
+	{Key: "intel-04m", Intel: true, Label: "4 (M)", Reference: "328903-038US", Prefix: "HSM", GenIndex: 4, Released: d(2013, 6), LastUpdate: d(2017, 3), Count: 138, RevisionMonths: 2},
+	{Key: "intel-05d", Intel: true, Label: "5 (D)", Reference: "332381-023US", Prefix: "BDD", GenIndex: 5, Released: d(2015, 1), LastUpdate: d(2018, 2), Count: 110, RevisionMonths: 3},
+	{Key: "intel-05m", Intel: true, Label: "5 (M)", Reference: "330836-031US", Prefix: "BDM", GenIndex: 5, Released: d(2014, 10), LastUpdate: d(2018, 2), Count: 112, RevisionMonths: 3},
+	{Key: "intel-06", Intel: true, Label: "6", Reference: "332689-028US", Prefix: "SKL", GenIndex: 6, Released: d(2015, 8), LastUpdate: d(2020, 6), Count: 180, RevisionMonths: 2},
+	{Key: "intel-07", Intel: true, Label: "7/8", Reference: "334663-013US", Prefix: "KBL", GenIndex: 7, Released: d(2016, 8), LastUpdate: d(2021, 2), Count: 150, RevisionMonths: 3},
+	{Key: "intel-08", Intel: true, Label: "8/9", Reference: "337346-002US", Prefix: "CFL", GenIndex: 8, Released: d(2017, 10), LastUpdate: d(2021, 8), Count: 140, RevisionMonths: 3},
+	{Key: "intel-10", Intel: true, Label: "10", Reference: "615213-010US", Prefix: "CML", GenIndex: 10, Released: d(2019, 8), LastUpdate: d(2022, 2), Count: 120, RevisionMonths: 3},
+	{Key: "intel-11", Intel: true, Label: "11", Reference: "634808-008US", Prefix: "RKL", GenIndex: 11, Released: d(2021, 3), LastUpdate: d(2022, 4), Count: 70, RevisionMonths: 2},
+	{Key: "intel-12", Intel: true, Label: "12", Reference: "682436-004US", Prefix: "ADL", GenIndex: 12, Released: d(2021, 11), LastUpdate: d(2022, 5), Count: 53, RevisionMonths: 2},
+}
+
+// AMDDocs lists the 12 AMD family documents of Table III. The
+// per-document counts sum to 506, the paper's AMD total.
+var AMDDocs = []pluginapi.DocProfile{
+	{Key: "amd-10h-00", Label: "10h 00-0F", Reference: "41322-3.84", Released: d(2008, 3), LastUpdate: d(2013, 3), Count: 60, RevisionMonths: 6},
+	{Key: "amd-11h-00", Label: "11h 00-0F", Reference: "41788-3.00", Released: d(2008, 6), LastUpdate: d(2011, 8), Count: 25, RevisionMonths: 8},
+	{Key: "amd-12h-00", Label: "12h 00-0F", Reference: "44739-3.10", Released: d(2011, 6), LastUpdate: d(2013, 4), Count: 30, RevisionMonths: 7},
+	{Key: "amd-14h-00", Label: "14h 00-0F", Reference: "47534-3.18", Released: d(2011, 1), LastUpdate: d(2013, 9), Count: 35, RevisionMonths: 6},
+	{Key: "amd-15h-00", Label: "15h 00-0F", Reference: "48063-3.24", Released: d(2011, 10), LastUpdate: d(2014, 10), Count: 55, RevisionMonths: 5},
+	{Key: "amd-15h-10", Label: "15h 10-1F", Reference: "48931-3.08", Released: d(2012, 5), LastUpdate: d(2014, 12), Count: 40, RevisionMonths: 6},
+	{Key: "amd-15h-30", Label: "15h 30-3F", Reference: "51603-1.06", Released: d(2014, 1), LastUpdate: d(2016, 3), Count: 42, RevisionMonths: 6},
+	{Key: "amd-15h-70", Label: "15h 70-7F", Reference: "55370-3.00", Released: d(2015, 6), LastUpdate: d(2017, 5), Count: 25, RevisionMonths: 8},
+	{Key: "amd-16h-00", Label: "16h 00-0F", Reference: "51810-3.06", Released: d(2013, 5), LastUpdate: d(2015, 9), Count: 38, RevisionMonths: 6},
+	{Key: "amd-17h-00", Label: "17h 00-0F", Reference: "55449-1.12", Released: d(2017, 3), LastUpdate: d(2020, 7), Count: 60, RevisionMonths: 5},
+	{Key: "amd-17h-30", Label: "17h 30-3F", Reference: "56323-0.78", Released: d(2019, 7), LastUpdate: d(2021, 9), Count: 48, RevisionMonths: 6},
+	{Key: "amd-19h-00", Label: "19h 00-0F", Reference: "56683-1.04", Released: d(2020, 11), LastUpdate: d(2022, 5), Count: 48, RevisionMonths: 5},
+}
+
+var baseSpec = pluginapi.CorpusSpec{
+	IntelDocs: IntelDocs,
+	AMDDocs:   AMDDocs,
+	Calibration: pluginapi.Calibration{
+		IntelTotal:                    TargetIntelTotal,
+		IntelUnique:                   TargetIntelUnique,
+		AMDTotal:                      TargetAMDTotal,
+		AMDUnique:                     TargetAMDUnique,
+		SharedGens6To10:               SharedGens6To10,
+		LineagesCore1To10:             LineagesCore1To10,
+		ComplexConditionFractionIntel: ComplexConditionFractionIntel,
+		ComplexConditionFractionAMD:   ComplexConditionFractionAMD,
+		TrivialTriggerFraction:        TrivialTriggerFraction,
+		NoWorkaroundFractionIntel:     NoWorkaroundFractionIntel,
+		NoWorkaroundFractionAMD:       NoWorkaroundFractionAMD,
+	},
+
+	// TriggerWeights is the marginal sampling distribution over
+	// abstract trigger categories, shaped after Figure 10:
+	// configuration-register interactions, throttling and power-state
+	// transitions lead, followed by feature, virtualization and
+	// external-input triggers.
+	TriggerWeights: []pluginapi.Weighted{
+		{ID: "Trg_CFG_wrg", Weight: 13.0},
+		{ID: "Trg_POW_tht", Weight: 10.0},
+		{ID: "Trg_POW_pwc", Weight: 9.0},
+		{ID: "Trg_FEA_cus", Weight: 6.5},
+		{ID: "Trg_PRV_vmt", Weight: 6.0},
+		{ID: "Trg_CFG_vmc", Weight: 5.0},
+		{ID: "Trg_EXT_pci", Weight: 5.0},
+		{ID: "Trg_FEA_dbg", Weight: 4.5},
+		{ID: "Trg_EXT_rst", Weight: 4.0},
+		{ID: "Trg_MOP_mmp", Weight: 3.5},
+		{ID: "Trg_EXT_ram", Weight: 3.5},
+		{ID: "Trg_FEA_tra", Weight: 3.0},
+		{ID: "Trg_FLT_mca", Weight: 3.0},
+		{ID: "Trg_CFG_pag", Weight: 3.0},
+		{ID: "Trg_MOP_ptw", Weight: 2.5},
+		{ID: "Trg_FEA_fpu", Weight: 2.5},
+		{ID: "Trg_FEA_mon", Weight: 2.0},
+		{ID: "Trg_MOP_atp", Weight: 2.0},
+		{ID: "Trg_MOP_flc", Weight: 2.0},
+		{ID: "Trg_PRV_ret", Weight: 2.0},
+		{ID: "Trg_FLT_ovf", Weight: 1.8},
+		{ID: "Trg_EXT_bus", Weight: 1.8},
+		{ID: "Trg_MOP_fen", Weight: 1.5},
+		{ID: "Trg_FLT_tmr", Weight: 1.5},
+		{ID: "Trg_EXT_usb", Weight: 1.5},
+		{ID: "Trg_MOP_spe", Weight: 1.2},
+		{ID: "Trg_MBR_cbr", Weight: 1.2},
+		{ID: "Trg_MOP_seg", Weight: 1.0},
+		{ID: "Trg_MBR_pgb", Weight: 1.0},
+		{ID: "Trg_EXT_iom", Weight: 1.0},
+		{ID: "Trg_FEA_cid", Weight: 0.8},
+		{ID: "Trg_FLT_ill", Weight: 0.8},
+		{ID: "Trg_MOP_nst", Weight: 0.8},
+		{ID: "Trg_MBR_mbr", Weight: 0.6},
+	},
+
+	// VendorTriggerBias multiplies trigger weights per vendor to
+	// reproduce Figures 15 and 16: Intel over-represents
+	// custom-feature and tracing triggers; AMD over-represents bus
+	// (HyperTransport) and IOMMU inputs.
+	VendorTriggerBias: map[string]pluginapi.VendorBias{
+		"Trg_FEA_cus": {Intel: 1.5, AMD: 0.6},
+		"Trg_FEA_tra": {Intel: 1.7, AMD: 0.4},
+		"Trg_FEA_mon": {Intel: 1.3, AMD: 0.7},
+		"Trg_EXT_bus": {Intel: 0.5, AMD: 2.2},
+		"Trg_EXT_iom": {Intel: 0.6, AMD: 2.0},
+		"Trg_EXT_usb": {Intel: 1.4, AMD: 0.7},
+		"Trg_EXT_ram": {Intel: 0.9, AMD: 1.3},
+		"Trg_FEA_fpu": {Intel: 0.8, AMD: 1.4},
+	},
+
+	// TriggerPairBoost boosts the conditional probability of picking
+	// the second trigger once the first is present, reproducing the
+	// salient correlations of Figure 12 (debug features with VM
+	// transitions; DRAM and PCIe with power-level changes; resets with
+	// PCIe).
+	TriggerPairBoost: map[[2]string]float64{
+		{"Trg_FEA_dbg", "Trg_PRV_vmt"}: 6.0,
+		{"Trg_EXT_ram", "Trg_POW_pwc"}: 5.0,
+		{"Trg_EXT_pci", "Trg_POW_pwc"}: 5.0,
+		{"Trg_EXT_pci", "Trg_EXT_rst"}: 4.5,
+		{"Trg_CFG_wrg", "Trg_POW_tht"}: 4.0,
+		{"Trg_CFG_wrg", "Trg_POW_pwc"}: 3.5,
+		{"Trg_CFG_wrg", "Trg_FEA_cus"}: 3.0,
+		{"Trg_CFG_vmc", "Trg_PRV_vmt"}: 4.0,
+		{"Trg_MOP_ptw", "Trg_CFG_pag"}: 4.0,
+		{"Trg_POW_tht", "Trg_POW_pwc"}: 3.0,
+		{"Trg_FLT_mca", "Trg_POW_tht"}: 2.5,
+		{"Trg_MOP_mmp", "Trg_EXT_pci"}: 2.5,
+	},
+
+	// TriggerCountWeights is the distribution of the number of
+	// (non-trivial) triggers per erratum, shaped after Figure 11:
+	// mixing both vendors, about half of the errata require at least
+	// two combined triggers.
+	TriggerCountWeights: []pluginapi.Weighted{
+		{ID: "1", Weight: 51}, {ID: "2", Weight: 32}, {ID: "3", Weight: 12},
+		{ID: "4", Weight: 4}, {ID: "5", Weight: 1},
+	},
+
+	// ContextWeights is the marginal distribution over context
+	// categories (Figure 17): virtual-machine guests dominate.
+	ContextWeights: []pluginapi.Weighted{
+		{ID: "Ctx_PRV_vmg", Weight: 10.0},
+		{ID: "Ctx_PRV_smm", Weight: 4.5},
+		{ID: "Ctx_PRV_boo", Weight: 4.0},
+		{ID: "Ctx_PRV_vmh", Weight: 3.5},
+		{ID: "Ctx_PRV_rea", Weight: 2.5},
+		{ID: "Ctx_FEA_sec", Weight: 2.5},
+		{ID: "Ctx_PHY_pkg", Weight: 1.5},
+		{ID: "Ctx_FEA_sgc", Weight: 1.2},
+		{ID: "Ctx_PHY_tmp", Weight: 1.0},
+		{ID: "Ctx_PHY_vol", Weight: 0.8},
+	},
+
+	// ContextCountWeights: most errata list no specific context; some
+	// one; few several.
+	ContextCountWeights: []pluginapi.Weighted{
+		{ID: "0", Weight: 55}, {ID: "1", Weight: 33}, {ID: "2", Weight: 10},
+		{ID: "3", Weight: 2},
+	},
+
+	// EffectWeights is the marginal distribution over effect
+	// categories (Figure 18): corrupted registers, hangs and
+	// unpredictable behavior are the most common observable effects.
+	EffectWeights: []pluginapi.Weighted{
+		{ID: "Eff_CRP_reg", Weight: 12.0},
+		{ID: "Eff_HNG_hng", Weight: 10.0},
+		{ID: "Eff_HNG_unp", Weight: 9.0},
+		{ID: "Eff_FLT_mca", Weight: 5.5},
+		{ID: "Eff_FLT_fsp", Weight: 5.0},
+		{ID: "Eff_CRP_prf", Weight: 4.5},
+		{ID: "Eff_HNG_crh", Weight: 3.5},
+		{ID: "Eff_FLT_unc", Weight: 3.0},
+		{ID: "Eff_FLT_fms", Weight: 2.5},
+		{ID: "Eff_EXT_pci", Weight: 2.5},
+		{ID: "Eff_HNG_boo", Weight: 2.0},
+		{ID: "Eff_FLT_fid", Weight: 1.8},
+		{ID: "Eff_EXT_ram", Weight: 1.5},
+		{ID: "Eff_EXT_mmd", Weight: 1.2},
+		{ID: "Eff_EXT_usb", Weight: 1.2},
+		{ID: "Eff_EXT_pow", Weight: 1.0},
+	},
+
+	// EffectCountWeights: every erratum has at least one observable
+	// effect.
+	EffectCountWeights: []pluginapi.Weighted{
+		{ID: "1", Weight: 62}, {ID: "2", Weight: 30}, {ID: "3", Weight: 8},
+	},
+
+	// MSRWeights distributes the observable-effect MSR for errata
+	// whose effects involve a corrupted register or machine-check
+	// report (Figure 19): machine-check status registers lead,
+	// followed by instruction-based sampling registers (AMD) and
+	// performance counters.
+	MSRWeights: []pluginapi.Weighted{
+		{ID: "MCx_STATUS", Weight: 5.5},
+		{ID: "MCx_ADDR", Weight: 4.0},
+		{ID: "IA32_PERF_STATUS", Weight: 3.0},
+		{ID: "IA32_PMCx", Weight: 4.5},
+		{ID: "IA32_FIXED_CTRx", Weight: 2.5},
+		{ID: "IA32_THERM_STATUS", Weight: 2.0},
+		{ID: "IA32_APIC_BASE", Weight: 1.5},
+		{ID: "IA32_DEBUGCTL", Weight: 1.5},
+		{ID: "IA32_MISC_ENABLE", Weight: 1.2},
+		{ID: "IA32_TSC", Weight: 1.0},
+	},
+
+	// AMDMSRWeights is the AMD counterpart, with IBS registers
+	// prominent.
+	AMDMSRWeights: []pluginapi.Weighted{
+		{ID: "MCx_STATUS", Weight: 5.5},
+		{ID: "MCx_ADDR", Weight: 4.2},
+		{ID: "IBS_FETCH_CTL", Weight: 4.0},
+		{ID: "IBS_OP_DATA", Weight: 3.5},
+		{ID: "PERF_CTRx", Weight: 4.0},
+		{ID: "HWCR", Weight: 2.0},
+		{ID: "APIC_BASE", Weight: 1.5},
+		{ID: "TSC", Weight: 1.0},
+	},
+
+	// Workaround weights give, per vendor, the distribution over
+	// workaround categories (Figure 6). The None fractions match the
+	// paper; the remainder is split with BIOS workarounds leading.
+	WorkaroundWeightsIntel: []pluginapi.Weighted{
+		{ID: "None", Weight: 35.9},
+		{ID: "BIOS", Weight: 32.0},
+		{ID: "Software", Weight: 17.0},
+		{ID: "Absent", Weight: 11.0},
+		{ID: "Peripherals", Weight: 3.6},
+		{ID: "DocumentationFix", Weight: 0.5},
+	},
+	WorkaroundWeightsAMD: []pluginapi.Weighted{
+		{ID: "None", Weight: 28.9},
+		{ID: "BIOS", Weight: 36.0},
+		{ID: "Software", Weight: 20.0},
+		{ID: "Absent", Weight: 11.0},
+		{ID: "Peripherals", Weight: 3.6},
+		{ID: "DocumentationFix", Weight: 0.5},
+	},
+
+	// FixWeights gives the distribution of fix statuses (Figure 7):
+	// the vast majority of bugs are never fixed. For Intel the fixed
+	// fraction grows weakly with the generation index (handled in the
+	// generator).
+	FixWeights: []pluginapi.Weighted{
+		{ID: "NoFixPlanned", Weight: 88}, {ID: "FixPlanned", Weight: 5},
+		{ID: "Fixed", Weight: 7},
+	},
+}

@@ -1,0 +1,27 @@
+// Package defaults wires the built-in plugins as the host defaults:
+// the Intel/AMD rule pack and the Table III corpus profile. Binaries,
+// examples and tests that classify or generate without naming a pack
+// or profile explicitly import it for its side effects:
+//
+//	import _ "repro/plugins/defaults"
+//
+// Importing the individual plugin packages only registers them;
+// designating defaults is an explicit composition-root decision made
+// here, so the selection does not depend on package initialization
+// order.
+package defaults
+
+import (
+	"repro/pkg/pluginapi"
+	corpusprofile "repro/plugins/corpusprofile/intelamd"
+	rulepack "repro/plugins/rulepack/intelamd"
+)
+
+func init() {
+	if err := pluginapi.SetDefaultRulePack(rulepack.Name); err != nil {
+		panic(err)
+	}
+	if err := pluginapi.SetDefaultCorpusProfile(corpusprofile.Name); err != nil {
+		panic(err)
+	}
+}

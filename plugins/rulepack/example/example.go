@@ -1,0 +1,61 @@
+// Package example is a minimal third-party-style rule pack. It shows
+// the full surface a plugin author needs: the pkg/pluginapi contract
+// and the pkg/domain taxonomy kinds — and nothing from internal/,
+// which the architecture tests forbid plugins to import.
+//
+// The pack registers itself under the name "example" but is never the
+// default; hosts opt in explicitly:
+//
+//	pack, _ := pluginapi.LookupRulePack(example.Name)
+//	engine, err := classify.NewEngineFor(pack, nil, classify.Config{})
+package example
+
+import (
+	"repro/pkg/domain"
+	"repro/pkg/pluginapi"
+)
+
+// Name is the registry name of the pack.
+const Name = "example"
+
+func init() {
+	pluginapi.MustRegisterRulePack(Pack{})
+}
+
+// Pack is a tiny demonstration rule pack: one rule per taxonomy kind,
+// using categories of the base scheme.
+type Pack struct{}
+
+// Info identifies the pack and the plugin API version it was built
+// against; registration fails on a version mismatch.
+func (Pack) Info() pluginapi.Info {
+	return pluginapi.Info{
+		Name:        Name,
+		Version:     "0.1.0",
+		APIVersion:  pluginapi.APIVersion,
+		Description: "minimal example rule pack for plugin authors",
+	}
+}
+
+// Rules returns one strong rule per kind. Strong patterns auto-include
+// their category; weak patterns only surface it for review.
+func (Pack) Rules() []pluginapi.RuleSpec {
+	return []pluginapi.RuleSpec{
+		{
+			Kind:     domain.Trigger,
+			Category: "Trg_EXT_rst",
+			Strong:   []string{`\bwarm reset\b`},
+			Weak:     []string{`\brestart`},
+		},
+		{
+			Kind:     domain.Context,
+			Category: "Ctx_PRV_smm",
+			Strong:   []string{`\bsmm\b`},
+		},
+		{
+			Kind:     domain.Effect,
+			Category: "Eff_HNG_hng",
+			Strong:   []string{`\bhang\b`, `\bdeadlock\b`},
+		},
+	}
+}

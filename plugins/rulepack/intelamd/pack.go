@@ -1,0 +1,231 @@
+// Package intelamd is the built-in classifier rule pack: the
+// transcription of Tables IV-VI of the RemembERR paper into regex
+// rules over trigger, context and effect clauses of Intel/AMD errata.
+//
+// The package registers itself under the name "intel-amd" from init;
+// plugins/defaults designates it as the default pack. It depends only
+// on the public plugin API, like any third-party pack would.
+package intelamd
+
+import (
+	"repro/pkg/domain"
+	"repro/pkg/pluginapi"
+)
+
+// Name is the registry name of the pack.
+const Name = "intel-amd"
+
+func init() {
+	pluginapi.MustRegisterRulePack(Pack{})
+}
+
+// Pack is the built-in Intel/AMD rule pack.
+type Pack struct{}
+
+// Info identifies the pack.
+func (Pack) Info() pluginapi.Info {
+	return pluginapi.Info{
+		Name:        Name,
+		Version:     "1.0.0",
+		APIVersion:  pluginapi.APIVersion,
+		Description: "Intel/AMD classifier rules transcribed from Tables IV-VI of the RemembERR paper",
+	}
+}
+
+// Rules returns the rule specifications: the trigger rules of Table
+// IV, then the context rules of Table V, then the effect rules of
+// Table VI. Order within a kind is significant and preserved by the
+// engine.
+func (Pack) Rules() []pluginapi.RuleSpec { return rules }
+
+func spec(kind domain.Kind, category string, strong, weak []string) pluginapi.RuleSpec {
+	return pluginapi.RuleSpec{Kind: kind, Category: category, Strong: strong, Weak: weak}
+}
+
+var rules = []pluginapi.RuleSpec{
+	// Trigger categories of Table IV, over trigger clauses.
+	spec(domain.Trigger, "Trg_MBR_cbr",
+		[]string{`cache line boundary`},
+		[]string{`\bstraddles\b`, `\bunaligned\b`}),
+	spec(domain.Trigger, "Trg_MBR_pgb",
+		[]string{`page boundary`},
+		[]string{`\bstraddles\b`, `two pages`}),
+	spec(domain.Trigger, "Trg_MBR_mbr",
+		[]string{`\bcanonical\b`, `memory map boundary`},
+		[]string{`\bwraps\b`, `memory map`}),
+	spec(domain.Trigger, "Trg_MOP_mmp",
+		[]string{`memory-mapped`},
+		[]string{`\bmapped\b`, `\baccess\b`}),
+	spec(domain.Trigger, "Trg_MOP_atp",
+		[]string{`\batomic\b`, `\btransactional\b`},
+		[]string{`\blocked\b`, `read-modify-write`}),
+	spec(domain.Trigger, "Trg_MOP_fen",
+		[]string{`memory fence`, `serializing instruction`, `\bmfence\b`},
+		[]string{`\bfence\b`}),
+	spec(domain.Trigger, "Trg_MOP_seg",
+		[]string{`\bsegment\b`},
+		nil),
+	spec(domain.Trigger, "Trg_MOP_ptw",
+		[]string{`table walk`},
+		[]string{`\bwalk\b`}),
+	spec(domain.Trigger, "Trg_MOP_nst",
+		[]string{`\bnested\b`},
+		nil),
+	spec(domain.Trigger, "Trg_MOP_flc",
+		[]string{`flush instruction`, `flushed by an invalidation`},
+		[]string{`\bflush`}),
+	spec(domain.Trigger, "Trg_MOP_spe",
+		[]string{`\bspeculat`},
+		nil),
+	spec(domain.Trigger, "Trg_FLT_ovf",
+		[]string{`\boverflow`},
+		nil),
+	spec(domain.Trigger, "Trg_FLT_tmr",
+		[]string{`\btimer\b`},
+		nil),
+	spec(domain.Trigger, "Trg_FLT_mca",
+		[]string{`machine check exception is being delivered`, `machine check event is logged`},
+		[]string{`\bmca\b`, `machine check`}),
+	spec(domain.Trigger, "Trg_FLT_ill",
+		[]string{`illegal instruction`, `undefined opcode`, `invalid instruction`},
+		nil),
+	spec(domain.Trigger, "Trg_PRV_ret",
+		[]string{`\brsm\b`, `return from smm`},
+		[]string{`resumes from`, `\bmanagement\b`}),
+	spec(domain.Trigger, "Trg_PRV_vmt",
+		[]string{`vm entry`, `vm exit`, `from hypervisor to guest`, `world switch`},
+		[]string{`\bguest\b`, `\bhypervisor\b`}),
+	spec(domain.Trigger, "Trg_CFG_pag",
+		[]string{`paging mode`, `paging structure entry`, `paging mechanism`},
+		[]string{`\bcr0\b`, `\bcr4\b`, `\bpaging\b`}),
+	spec(domain.Trigger, "Trg_CFG_vmc",
+		[]string{`\bvmcs\b`, `virtual machine control structure`, `virtualization control`},
+		[]string{`\bvirtual machine\b`}),
+	spec(domain.Trigger, "Trg_CFG_wrg",
+		[]string{`\bwrmsr\b`, `model specific register with`, `msr write`},
+		[]string{`configuration register`, `\bconfiguration\b`}),
+	spec(domain.Trigger, "Trg_POW_pwc",
+		[]string{`c6 power state`, `package power states`, `c-state`},
+		[]string{`power state`, `\bpower\b`}),
+	spec(domain.Trigger, "Trg_POW_tht",
+		[]string{`\bthrottl`, `power supply conditions`, `thermal event`},
+		[]string{`\bthermal\b`, `operating conditions`, `\bpower\b`}),
+	spec(domain.Trigger, "Trg_EXT_rst",
+		[]string{`\breset\b`},
+		nil),
+	spec(domain.Trigger, "Trg_EXT_pci",
+		[]string{`\bpcie\b`, `pci express`},
+		[]string{`peer-to-peer`, `\blink\b`}),
+	spec(domain.Trigger, "Trg_EXT_usb",
+		[]string{`\busb\b`, `\bxhci\b`},
+		nil),
+	spec(domain.Trigger, "Trg_EXT_ram",
+		[]string{`dram configuration`, `ddr interface operates`},
+		[]string{`\bdram\b`, `\bddr\b`, `memory is configured`}),
+	spec(domain.Trigger, "Trg_EXT_iom",
+		[]string{`\biommu\b`, `dma remapping`},
+		[]string{`\bdevice\b`}),
+	spec(domain.Trigger, "Trg_EXT_bus",
+		[]string{`\bhypertransport\b`, `\bqpi\b`, `system bus`},
+		[]string{`\bsnoop\b`}),
+	spec(domain.Trigger, "Trg_FEA_fpu",
+		[]string{`\bx87\b`, `\bfsave\b`, `floating-point`},
+		nil),
+	spec(domain.Trigger, "Trg_FEA_dbg",
+		[]string{`\bbreakpoint\b`, `single-stepping`, `\bdebug\b`},
+		[]string{`trap flag`}),
+	spec(domain.Trigger, "Trg_FEA_cid",
+		[]string{`\bcpuid\b`, `design identification`},
+		nil),
+	spec(domain.Trigger, "Trg_FEA_mon",
+		[]string{`\bmonitor/mwait\b`, `monitored address`, `\bmwait\b`},
+		nil),
+	spec(domain.Trigger, "Trg_FEA_tra",
+		[]string{`\btrace\b`, `\btracing\b`},
+		nil),
+	spec(domain.Trigger, "Trg_FEA_cus",
+		[]string{`\bsse\b`, `\bmmx\b`},
+		[]string{`extension feature`, `custom feature`, `specific feature`, `feature sequence`}),
+
+	// Context categories of Table V, over context clauses.
+	spec(domain.Context, "Ctx_PRV_boo",
+		[]string{`\bbooting\b`, `\bbios\b`, `\buefi\b`, `\bfirmware\b`},
+		nil),
+	spec(domain.Context, "Ctx_PRV_vmg",
+		[]string{`\bguest\b`},
+		nil),
+	spec(domain.Context, "Ctx_PRV_rea",
+		[]string{`real-address mode`, `real mode`, `real-mode`, `virtual-8086`},
+		nil),
+	spec(domain.Context, "Ctx_PRV_vmh",
+		[]string{`\bhypervisor\b`, `vmx root`, `host mode`},
+		[]string{`virtual machine`}),
+	spec(domain.Context, "Ctx_PRV_smm",
+		[]string{`system management mode`, `\bsmm\b`, `management mode`},
+		[]string{`\bmode\b`}),
+	spec(domain.Context, "Ctx_FEA_sec",
+		[]string{`\bsgx\b`, `\bsvm\b`, `\bsecurity\b`, `secure enclave`},
+		nil),
+	spec(domain.Context, "Ctx_FEA_sgc",
+		[]string{`single-core`, `one core`, `single active core`},
+		nil),
+	spec(domain.Context, "Ctx_PHY_pkg",
+		[]string{`\bpackage\b`, `ball-out`},
+		nil),
+	spec(domain.Context, "Ctx_PHY_tmp",
+		[]string{`\btemperature\b`},
+		nil),
+	spec(domain.Context, "Ctx_PHY_vol",
+		[]string{`\bvoltage\b`},
+		nil),
+
+	// Effect categories of Table VI, over effect clauses.
+	spec(domain.Effect, "Eff_HNG_unp",
+		[]string{`\bunpredictable\b`, `behave unexpectedly`, `results of the operation may be incorrect`},
+		[]string{`\bincorrect\b`, `\bunexpected`, `system may`}),
+	spec(domain.Effect, "Eff_HNG_hng",
+		[]string{`\bhang\b`, `stop responding`},
+		nil),
+	spec(domain.Effect, "Eff_HNG_crh",
+		[]string{`\bcrash\b`, `\bunrecoverable\b`, `go down`},
+		[]string{`may fail`}),
+	spec(domain.Effect, "Eff_HNG_boo",
+		[]string{`\bboot\b`, `\bpost\b`},
+		nil),
+	spec(domain.Effect, "Eff_FLT_mca",
+		[]string{`machine check exception may be signaled`, `mca error may be reported`, `machine check architecture`},
+		[]string{`machine check`}),
+	spec(domain.Effect, "Eff_FLT_unc",
+		[]string{`\buncorrectable\b`, `\buncorrected\b`},
+		nil),
+	spec(domain.Effect, "Eff_FLT_fsp",
+		[]string{`\bspurious\b`, `unexpected exception`},
+		[]string{`\bfaults?\b`}),
+	spec(domain.Effect, "Eff_FLT_fms",
+		[]string{`fault may be missing`, `may not be delivered`, `may be suppressed`},
+		[]string{`\bmissing\b`}),
+	spec(domain.Effect, "Eff_FLT_fid",
+		[]string{`wrong error code`, `fault identifier`, `wrong order`},
+		[]string{`\bordering\b`}),
+	spec(domain.Effect, "Eff_CRP_prf",
+		[]string{`performance counter`, `performance monitoring`},
+		[]string{`counter value`}),
+	spec(domain.Effect, "Eff_CRP_reg",
+		[]string{`msr may contain`, `model specific register may be corrupted`},
+		[]string{`register state`, `wrong value`, `\bregister\b`}),
+	spec(domain.Effect, "Eff_EXT_pci",
+		[]string{`malformed transactions`, `pcie link`, `protocol violations`},
+		[]string{`\bpcie\b`}),
+	spec(domain.Effect, "Eff_EXT_usb",
+		[]string{`\busb\b`},
+		nil),
+	spec(domain.Effect, "Eff_EXT_mmd",
+		[]string{`\baudio\b`, `\bgraphics\b`, `display artifacts`, `\bmultimedia\b`},
+		nil),
+	spec(domain.Effect, "Eff_EXT_ram",
+		[]string{`dram interactions`, `memory training`, `ddr interface may`},
+		[]string{`\bdram\b`, `\bddr\b`}),
+	spec(domain.Effect, "Eff_EXT_pow",
+		[]string{`power consumption`, `excessive power`},
+		[]string{`\bpower\b`}),
+}

@@ -48,6 +48,11 @@ import (
 	"repro/internal/taxonomy"
 	"repro/internal/textsim"
 	"repro/internal/timeline"
+	"repro/pkg/domain"
+
+	// The root package is a composition root: it wires the built-in
+	// rule pack and corpus profile as the plugin-registry defaults.
+	_ "repro/plugins/defaults"
 )
 
 // Re-exported types so that users of the library can name the values the
@@ -437,7 +442,7 @@ func (db *Database) Index() *index.Index { return db.idx.Load() }
 func (db *Database) Report() *BuildReport { return db.report }
 
 // Scheme returns the classification scheme in force.
-func (db *Database) Scheme() *Scheme { return db.core.Scheme }
+func (db *Database) Scheme() domain.Scheme { return db.core.Scheme }
 
 // Stats summarizes corpus-level counts.
 type Stats = core.Stats
